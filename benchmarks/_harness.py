@@ -1,0 +1,61 @@
+"""Shared machinery for the per-figure/table benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+(or reads from the on-disk result cache) the 65-workload suite under the
+relevant configurations, prints the same rows/series the paper reports,
+writes them to ``benchmarks/results/<name>.txt``, and asserts the *shape*
+of the result (who wins, roughly by how much) — not absolute numbers,
+since the substrate is this repo's simulator, not Intel's.
+
+Environment knobs: ``REPRO_WORKLOADS`` (int or "all"), ``REPRO_LENGTH``,
+``REPRO_WARMUP`` — see :mod:`repro.sim.experiments`.
+"""
+
+import os
+
+from repro.core.config import baseline, baseline_2x
+from repro.sim.experiments import (
+    default_length,
+    default_warmup,
+    default_workloads,
+    mean_fraction,
+    run_suite,
+    suite_speedup,
+)
+from repro.stats.report import format_table, geomean
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+RFP_ON = {"rfp": {"enabled": True}}
+
+
+def rfp_baseline(**extra):
+    return baseline(**{**RFP_ON, **extra})
+
+
+def suite(config):
+    """Cached run of the whole suite under ``config``."""
+    return run_suite(config)
+
+
+def emit(name, text):
+    """Print a result block and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def speedup_block(title, feature_results, baseline_results):
+    """Per-category + overall speedup table (the Fig. 10/12 format)."""
+    per_wl, per_cat, overall = suite_speedup(feature_results, baseline_results)
+    rows = [(cat, "%+.2f%%" % ((value - 1) * 100)) for cat, value in per_cat.items()]
+    rows.append(("ALL (geomean)", "%+.2f%%" % ((overall - 1) * 100)))
+    return per_wl, per_cat, overall, format_table(
+        ["category", "speedup"], rows, title=title
+    )
+
+
+def pct(x):
+    return "%.1f%%" % (100.0 * x)

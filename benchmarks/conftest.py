@@ -1,0 +1,12 @@
+"""Benchmark-harness configuration.
+
+Each "benchmark" regenerates one paper table/figure through the shared
+disk-backed result cache, so a full ``pytest benchmarks/ --benchmark-only``
+simulates each (workload, config) pair exactly once regardless of how many
+figures share it.
+"""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,35 @@
+"""Fig. 2 — distribution of demand loads across the hierarchy.
+
+Paper: an overwhelming majority (92.8%) of loads hit the L1 data cache;
+the L2/LLC/DRAM/MSHR tails are small.  This is why the 5-cycle L1 latency
+has such a magnified performance impact.
+"""
+
+from _harness import emit, pct, suite
+from repro.core.config import baseline
+from repro.stats.report import format_table
+
+LEVELS = ("L1", "MSHR", "FWD", "L2", "LLC", "DRAM", "RFP")
+
+
+def _run():
+    results = suite(baseline())
+    aggregate = {level: 0.0 for level in LEVELS}
+    for result in results.values():
+        for level, fraction in result.load_distribution().items():
+            aggregate[level] += fraction
+    n = len(results)
+    return {level: total / n for level, total in aggregate.items()}
+
+
+def test_fig02_load_distribution(benchmark):
+    dist = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [(level, pct(dist[level])) for level in LEVELS]
+    emit("fig02_load_distribution",
+         format_table(["level", "fraction of loads"], rows,
+                      title="Fig. 2: demand-load distribution (suite average)"))
+    l1_complex = dist["L1"] + dist["MSHR"] + dist["FWD"]
+    assert l1_complex > 0.85, "loads must be overwhelmingly L1-resident"
+    assert dist["L1"] > 0.7
+    assert dist["DRAM"] < 0.08
+    assert dist["L2"] < 0.12

@@ -1,0 +1,62 @@
+"""Tables 1-3 — storage arithmetic, core parameters, workload suite."""
+
+from _harness import emit
+from repro.core.config import RFPConfig, baseline, baseline_2x
+from repro.rfp.storage import storage_report
+from repro.stats.report import format_table
+from repro.workloads.suite import suite_table, workload_names
+
+
+def _table1():
+    report_1k = storage_report(RFPConfig(pt_entries=1024))
+    report_2k = storage_report(RFPConfig(pt_entries=2048))
+    rows = [(name, fields, "%d b" % bits) for name, fields, bits in report_1k["rows"]]
+    rows.append(("PT total (1K entries)", "", "%.1f KB" % report_1k["pt_kilobytes"]))
+    rows.append(("PT total (2K entries)", "", "%.1f KB" % report_2k["pt_kilobytes"]))
+    rows.append(("PAT storage saving", "",
+                 "%.0f%%" % (100 * report_1k["savings_vs_full_vaddr"])))
+    return report_1k, report_2k, format_table(
+        ["structure", "fields", "storage"], rows,
+        title="Table 1: RFP storage (paper: 6.5KB / 12KB, PAT 352b)")
+
+
+def test_tab01_storage(benchmark):
+    report_1k, report_2k, table = benchmark.pedantic(_table1, rounds=1, iterations=1)
+    emit("tab01_storage", table)
+    assert 6.0 <= report_1k["pt_kilobytes"] <= 7.0
+    assert 12.0 <= report_2k["pt_kilobytes"] <= 14.0
+    assert report_1k["pat_bits"] == 64 * 44  # 352 bytes in the paper's bits
+    assert 0.4 <= report_1k["savings_vs_full_vaddr"] <= 0.6
+
+
+def _table2():
+    rows = []
+    base, up = baseline(), baseline_2x()
+    base_rows = dict(base.table2_rows())
+    up_rows = dict(up.table2_rows())
+    for key in base_rows:
+        rows.append((key, base_rows[key], up_rows[key]))
+    return base, up, format_table(
+        ["parameter", "baseline (TGL-like)", "baseline-2x"], rows,
+        title="Table 2: core parameters")
+
+
+def test_tab02_core_params(benchmark):
+    base, up, table = benchmark.pedantic(_table2, rounds=1, iterations=1)
+    emit("tab02_core_params", table)
+    assert base.l1_latency == 5 and base.dram_latency == 200
+    assert base.fetch_width == 5 and up.fetch_width == 10
+    assert up.rob_entries == 2 * base.rob_entries
+
+
+def _table3():
+    rows = [(category, str(count), names) for category, count, names in suite_table()]
+    return rows, format_table(["category", "count", "workloads"], rows,
+                              title="Table 3: the 65-workload suite")
+
+
+def test_tab03_workloads(benchmark):
+    rows, table = benchmark.pedantic(_table3, rounds=1, iterations=1)
+    emit("tab03_workloads", table)
+    assert sum(int(count) for _, count, _ in rows) == 65
+    assert len(workload_names()) == 65

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Exploring RFP's design space with the public API.
+
+Run:  python examples/design_space.py
+
+Sweeps the knobs a microarchitect would actually turn — confidence width,
+queue depth, dedicated L1 ports, PAT on/off, criticality filtering, and
+the up-scaled core — on a small workload sample, printing one row per
+design point.  Demonstrates `CoreConfig.evolve` and the `SimResult`
+accessors.
+"""
+
+from repro import baseline, baseline_2x, simulate
+from repro.stats.report import format_table, geomean
+
+WORKLOADS = ["spec06_mcf", "spec06_hmmer", "spec17_xalancbmk", "spark",
+             "sysmark"]
+LENGTH, WARMUP = 12000, 2000
+
+DESIGN_POINTS = [
+    ("RFP default (1-bit conf, PAT, 64q)", baseline(rfp={"enabled": True})),
+    ("4-bit confidence", baseline(rfp={"enabled": True, "confidence_bits": 4})),
+    ("8-entry RFP queue", baseline(rfp={"enabled": True, "queue_entries": 8})),
+    ("dedicated RFP ports", baseline(rfp={"enabled": True},
+                                     rfp_dedicated_ports=2)),
+    ("full vaddr (no PAT)", baseline(rfp={"enabled": True, "use_pat": False})),
+    ("criticality filter", baseline(rfp={"enabled": True,
+                                         "criticality_filter": True})),
+    ("context prefetcher", baseline(rfp={"enabled": True,
+                                         "context_enabled": True})),
+]
+
+
+def sweep(base_config, points, title):
+    base = {w: simulate(w, base_config, length=LENGTH, warmup=WARMUP)
+            for w in WORKLOADS}
+    rows = []
+    for label, config in points:
+        ratios, coverages = [], []
+        for w in WORKLOADS:
+            result = simulate(w, config, length=LENGTH, warmup=WARMUP)
+            ratios.append(result.ipc / base[w].ipc)
+            coverages.append(result.coverage)
+        rows.append((label,
+                     "%+.2f%%" % ((geomean(ratios) - 1) * 100),
+                     "%.1f%%" % (100 * sum(coverages) / len(coverages))))
+    print(format_table(["design point", "gmean speedup", "coverage"], rows,
+                       title=title))
+
+
+def main():
+    sweep(baseline(), DESIGN_POINTS, "RFP design space (baseline core)")
+    print()
+    sweep(baseline_2x(),
+          [("RFP on baseline-2x", baseline_2x(rfp={"enabled": True}))],
+          "Fig. 12: the up-scaled core")
+
+
+if __name__ == "__main__":
+    main()

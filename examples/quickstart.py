@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload with and without Register File Prefetch.
+
+Run:  python examples/quickstart.py [workload]
+
+Builds the Tiger-Lake-like baseline core, runs a suite workload on it,
+enables RFP, and prints the speedup plus the RFP funnel (injected ->
+executed -> useful), i.e. a single-workload slice of the paper's Figs. 10
+and 13.
+"""
+
+import sys
+
+from repro import baseline, simulate
+from repro.stats.report import format_table
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "spec06_mcf"
+    length, warmup = 12000, 2000
+
+    print("Simulating %r on the baseline core..." % workload)
+    base = simulate(workload, baseline(), length=length, warmup=warmup)
+
+    print("Simulating %r with RFP enabled..." % workload)
+    rfp_config = baseline(rfp={"enabled": True})
+    rfp = simulate(workload, rfp_config, length=length, warmup=warmup)
+
+    speedup = (rfp.ipc / base.ipc - 1) * 100
+    rows = [
+        ("baseline IPC", "%.3f" % base.ipc),
+        ("RFP IPC", "%.3f" % rfp.ipc),
+        ("speedup", "%+.2f%%" % speedup),
+        ("prefetches injected", "%.1f%% of loads" % (100 * rfp.rfp_fraction("injected"))),
+        ("prefetches executed", "%.1f%% of loads" % (100 * rfp.rfp_fraction("executed"))),
+        ("prefetches useful (coverage)", "%.1f%% of loads" % (100 * rfp.coverage)),
+        ("wrong-address prefetches", "%.1f%% of loads" % (100 * rfp.rfp_fraction("wrong_addr"))),
+    ]
+    print()
+    print(format_table(["metric", "value"], rows,
+                       title="RFP on %s (%s)" % (workload, rfp.category)))
+
+    print()
+    print("Baseline load distribution (the paper's Fig. 2 for this workload):")
+    for level, fraction in sorted(base.load_distribution().items(),
+                                  key=lambda kv: -kv[1]):
+        if fraction:
+            print("  %-5s %5.1f%%" % (level, 100 * fraction))
+
+
+if __name__ == "__main__":
+    main()

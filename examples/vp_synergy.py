@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""RFP and value prediction are synergistic (paper §5.3, Fig. 15).
+
+Run:  python examples/vp_synergy.py
+
+Compares, on a few workloads: standalone EVES-style value prediction,
+standalone RFP, and the fusion where a load is register-file prefetched
+only if it is not value predictable.  VP breaks true dependences but needs
+very high confidence (flushes are expensive); RFP tolerates 1-bit
+confidence but is bound by L1 bandwidth — together they cover more loads
+than either alone.
+"""
+
+from repro import baseline, simulate
+from repro.stats.report import format_table, geomean
+
+WORKLOADS = ["spec06_mcf", "spec06_hmmer", "spark", "spec17_x264",
+             "sysmark", "spec06_gcc"]
+LENGTH, WARMUP = 12000, 2000
+
+CONFIGS = {
+    "VP (EVES)": baseline(vp={"enabled": True, "kind": "eves"}),
+    "RFP": baseline(rfp={"enabled": True}),
+    "VP+RFP": baseline(rfp={"enabled": True},
+                       vp={"enabled": True, "kind": "eves"}),
+}
+
+
+def main():
+    base = {w: simulate(w, baseline(), length=LENGTH, warmup=WARMUP)
+            for w in WORKLOADS}
+    rows = []
+    for label, config in CONFIGS.items():
+        ratios, coverages = [], []
+        for w in WORKLOADS:
+            result = simulate(w, config, length=LENGTH, warmup=WARMUP)
+            ratios.append(result.ipc / base[w].ipc)
+            vp_correct = result.data.get("vp", {}).get("correct", 0)
+            loads = max(1, result.loads)
+            coverages.append(result.coverage + vp_correct / loads)
+        rows.append((label,
+                     "%+.2f%%" % ((geomean(ratios) - 1) * 100),
+                     "%.1f%%" % (100 * sum(coverages) / len(coverages))))
+    print(format_table(
+        ["configuration", "gmean speedup", "covered loads"], rows,
+        title="Fig. 15 (sampled): VP and RFP are synergistic"))
+    print()
+    print("Paper: VP +2.2%, RFP +3.1%, VP+RFP +4.15% at 54.6% coverage —")
+    print("the fusion wins because VP's high-confidence filter and RFP's")
+    print("bandwidth limits throttle *different* load populations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    run <workload>        simulate one workload, print IPC and RFP stats
+    suite                 run a suite slice, print per-category speedups
+    workloads             list the 65-workload suite
+    storage               print Table 1's storage arithmetic
+    params                print Table 2's core parameters
+"""
+
+import argparse
+import sys
+
+from repro.core.config import RFPConfig, baseline, baseline_2x
+from repro.rfp.storage import storage_report
+from repro.sim.experiments import run_suite, suite_speedup
+from repro.sim.runner import simulate
+from repro.stats.report import format_table
+from repro.workloads.suite import suite_table, workload_names
+
+
+def _config_from_args(args):
+    factory = baseline_2x if getattr(args, "core_2x", False) else baseline
+    overrides = {}
+    if getattr(args, "rfp", False):
+        overrides["rfp"] = {"enabled": True}
+    if getattr(args, "vp", None):
+        overrides["vp"] = {"enabled": True, "kind": args.vp}
+    return factory(**overrides)
+
+
+def cmd_run(args):
+    config = _config_from_args(args)
+    result = simulate(args.workload, config, length=args.length,
+                      warmup=args.warmup)
+    rows = [
+        ("workload", result.workload),
+        ("category", result.category),
+        ("config", config.name + (" +RFP" if args.rfp else "")
+         + (" +VP:%s" % args.vp if args.vp else "")),
+        ("IPC", "%.3f" % result.ipc),
+        ("cycles", str(result.data["cycles"])),
+        ("instructions", str(result.data["instructions"])),
+    ]
+    if result.rfp is not None:
+        rows += [
+            ("RFP injected", "%.1f%% of loads" % (100 * result.rfp_fraction("injected"))),
+            ("RFP executed", "%.1f%% of loads" % (100 * result.rfp_fraction("executed"))),
+            ("RFP useful", "%.1f%% of loads" % (100 * result.coverage)),
+        ]
+    print(format_table(["metric", "value"], rows, title="simulation result"))
+    return 0
+
+
+def cmd_suite(args):
+    config = _config_from_args(args)
+    names = workload_names()[: args.num] if args.num else None
+    print("Running %s workloads under %s..."
+          % (args.num or "all", config.name))
+    base = run_suite(baseline() if not args.core_2x else baseline_2x(),
+                     workloads=names, length=args.length, warmup=args.warmup)
+    feature = run_suite(config, workloads=names, length=args.length,
+                        warmup=args.warmup)
+    _, per_cat, overall = suite_speedup(feature, base)
+    rows = [(cat, "%+.2f%%" % ((v - 1) * 100)) for cat, v in per_cat.items()]
+    rows.append(("ALL (geomean)", "%+.2f%%" % ((overall - 1) * 100)))
+    print(format_table(["category", "speedup vs baseline"], rows))
+    return 0
+
+
+def cmd_workloads(_args):
+    rows = [(category, str(count), names)
+            for category, count, names in suite_table()]
+    print(format_table(["category", "count", "workloads"], rows,
+                       title="Table 3: the 65-workload suite"))
+    return 0
+
+
+def cmd_storage(args):
+    report = storage_report(RFPConfig(pt_entries=args.pt_entries))
+    rows = [(name, fields, "%d b" % bits) for name, fields, bits in report["rows"]]
+    rows.append(("PT total", "", "%.2f KB" % report["pt_kilobytes"]))
+    rows.append(("everything", "", "%.2f KB" % report["total_kilobytes"]))
+    print(format_table(["structure", "fields", "storage"], rows,
+                       title="Table 1: RFP storage"))
+    return 0
+
+
+def cmd_params(args):
+    config = baseline_2x() if args.core_2x else baseline()
+    print(format_table(["parameter", "value"], config.table2_rows(),
+                       title="Table 2: %s core parameters" % config.name))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_args(p):
+        p.add_argument("--length", type=int, default=12000,
+                       help="trace length in instructions")
+        p.add_argument("--warmup", type=int, default=2000,
+                       help="instructions excluded from measurement")
+        p.add_argument("--rfp", action="store_true", help="enable RFP")
+        p.add_argument("--vp", choices=["eves", "dlvp", "composite", "epp"],
+                       help="enable a value predictor")
+        p.add_argument("--core-2x", action="store_true",
+                       help="use the up-scaled Baseline-2x core")
+
+    run_parser = sub.add_parser("run", help="simulate one workload")
+    run_parser.add_argument("workload")
+    add_sim_args(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    suite_parser = sub.add_parser("suite", help="run a suite slice")
+    suite_parser.add_argument("-n", "--num", type=int, default=None,
+                              help="only the first N workloads")
+    add_sim_args(suite_parser)
+    suite_parser.set_defaults(func=cmd_suite)
+
+    wl_parser = sub.add_parser("workloads", help="list the suite")
+    wl_parser.set_defaults(func=cmd_workloads)
+
+    storage_parser = sub.add_parser("storage", help="Table 1 storage")
+    storage_parser.add_argument("--pt-entries", type=int, default=1024)
+    storage_parser.set_defaults(func=cmd_storage)
+
+    params_parser = sub.add_parser("params", help="Table 2 parameters")
+    params_parser.add_argument("--core-2x", action="store_true")
+    params_parser.set_defaults(func=cmd_params)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

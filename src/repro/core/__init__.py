@@ -1,0 +1,30 @@
+"""The out-of-order core model (paper §2.5 baseline + §3 RFP hooks)."""
+
+from repro.core.config import CoreConfig, RFPConfig, VPConfig, baseline, baseline_2x
+from repro.core.core import OOOCore
+from repro.core.dyninstr import DynInstr
+from repro.core.frontend import Frontend
+from repro.core.hit_miss import HitMissPredictor
+from repro.core.lsq import LoadQueue, MemDepPredictor, StoreQueue
+from repro.core.rename import PhysicalRegisterFile, RenameUnit
+from repro.core.rob import ReorderBuffer
+from repro.core.scheduler import ReservationStation
+
+__all__ = [
+    "CoreConfig",
+    "RFPConfig",
+    "VPConfig",
+    "baseline",
+    "baseline_2x",
+    "OOOCore",
+    "DynInstr",
+    "Frontend",
+    "HitMissPredictor",
+    "LoadQueue",
+    "MemDepPredictor",
+    "StoreQueue",
+    "PhysicalRegisterFile",
+    "RenameUnit",
+    "ReorderBuffer",
+    "ReservationStation",
+]

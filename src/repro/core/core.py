@@ -1,0 +1,506 @@
+"""The out-of-order core: fetch, rename, schedule, execute, commit.
+
+This is the execution-driven, cycle-level model the whole reproduction
+stands on.  One :class:`OOOCore` simulates one trace under one
+:class:`~repro.core.config.CoreConfig` and produces a
+:class:`~repro.stats.counters.SimStats`.
+
+Per-cycle phase order (chosen so same-cycle interactions resolve the way
+the paper describes):
+
+1. reset L1 port grants;
+2. timed events (branch resolutions, value-misprediction flushes) — these
+   must precede commit so a flush beats the faulting load's retirement;
+3. commit (retire width, PT/VP training, store drain to L1);
+4. issue/select — demand loads claim L1 ports at high priority;
+5. RFP pump — prefetches claim leftover ports at lowest priority;
+6. dispatch (rename/allocate; RFP packets are injected here, right after
+   rename, where the load's ``prfid`` is known);
+7. fetch (uop-cache frontend; DLVP-family predictors probe here).
+"""
+
+import heapq
+
+from repro.core import dyninstr as D
+from repro.core.dyninstr import DynInstr
+from repro.core.frontend import Frontend
+from repro.core.hit_miss import HitMissPredictor
+from repro.core.lsq import LoadQueue, MemDepPredictor, StoreQueue
+from repro.core.rename import PhysicalRegisterFile, RenameUnit
+from repro.core.rob import ReorderBuffer
+from repro.core.scheduler import ReservationStation
+from repro.isa.opcodes import OP_LATENCY, evaluate
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.ports import LoadPortArbiter
+from repro.rfp.engine import RFPEngine
+from repro.stats.counters import SimStats
+from repro.vp import build_predictor
+
+
+class OOOCore(object):
+    """A single-core, single-trace out-of-order pipeline simulation."""
+
+    def __init__(self, trace, config, record_commits=False):
+        config.validate()
+        self.trace = trace
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        #: Committed memory state; stores write here at retirement.
+        self.memory = dict(trace.memory_image)
+        self.prf = PhysicalRegisterFile(config.prf_entries)
+        self.rename = RenameUnit(NUM_ARCH_REGS, self.prf)
+        self.rob = ReorderBuffer(config.rob_entries)
+        self.rs = ReservationStation(config, self.prf)
+        self.lq = LoadQueue(config.lq_entries)
+        self.sq = StoreQueue(config.sq_entries)
+        self.md = MemDepPredictor()
+        self.ports = LoadPortArbiter(
+            config.load_ports,
+            config.rfp_dedicated_ports,
+            config.rfp_shares_demand_ports,
+        )
+        self.hit_miss = (
+            HitMissPredictor(config.hit_miss_entries)
+            if config.hit_miss_predictor
+            else None
+        )
+        self.frontend = Frontend(config, trace)
+        self.rfp = (
+            RFPEngine(config, self.hierarchy, self.sq, self.md, self.ports,
+                      hit_miss=self.hit_miss)
+            if config.rfp.enabled
+            else None
+        )
+        self.vp = build_predictor(config)
+        self.stats = SimStats()
+        self.cycle = 0
+        self.next_seq = 0
+        self.events = []
+        self._event_tiebreak = 0
+        self.preg_producer = {}
+        self.warmup_instructions = 0
+        self.warmup_snapshot = None
+        self.record_commits = record_commits
+        self.committed = []
+
+    # ==================================================================
+    # driving
+
+    def run(self, max_cycles=None):
+        """Simulate until the trace drains; returns self."""
+        limit = max_cycles or (400 * max(1, len(self.trace)) + 100000)
+        while not (self.frontend.drained and len(self.rob) == 0):
+            if self.cycle > limit:
+                raise RuntimeError(
+                    "simulation exceeded %d cycles at trace index %d "
+                    "(likely deadlock)" % (limit, self.frontend.cursor.index)
+                )
+            self.step()
+        self.stats.cycles = self.cycle
+        return self
+
+    def step(self):
+        """Advance the pipeline one cycle."""
+        cycle = self.cycle
+        self.ports.begin_cycle(cycle)
+        self._process_events(cycle)
+        self._commit(cycle)
+        self.rs.select(cycle, self._try_issue)
+        if self.rfp is not None:
+            self.rfp.step(cycle)
+        self._dispatch(cycle)
+        if self.vp is not None:
+            self.frontend.fetch(cycle, self._fetch_hook)
+        else:
+            self.frontend.fetch(cycle)
+        self.cycle += 1
+
+    def _fetch_hook(self, instr, cycle, path_history):
+        self.vp.on_fetch(
+            instr, cycle, self.ports, self.hierarchy, self.memory, path_history
+        )
+
+    # ==================================================================
+    # events
+
+    def _schedule_event(self, cycle, kind, dyn):
+        self._event_tiebreak += 1
+        heapq.heappush(self.events, (cycle, self._event_tiebreak, kind, dyn))
+
+    def _process_events(self, cycle):
+        events = self.events
+        while events and events[0][0] <= cycle:
+            _, _, kind, dyn = heapq.heappop(events)
+            if dyn.state == D.SQUASHED:
+                continue
+            if kind == "branch":
+                self.frontend.branch_resolved(dyn.instr.index, cycle)
+            elif kind == "vp_flush":
+                self._flush_vp(dyn, cycle)
+            else:
+                raise RuntimeError("unknown event kind %r" % kind)
+
+    # ==================================================================
+    # commit
+
+    def _commit(self, cycle):
+        self.sq.drain(cycle)
+        retired = 0
+        stats = self.stats
+        while retired < self.config.retire_width:
+            head = self.rob.head()
+            if head is None or head.state != D.COMPLETED or head.complete_cycle > cycle:
+                break
+            if (
+                head.is_load
+                and head.vp_predicted
+                and self.vp is not None
+                and head.vp_probe_value != "ssbf-done"
+            ):
+                # EPP-style retirement re-execution check (one-shot).
+                head.vp_probe_value = "ssbf-done"
+                penalty = self.vp.retire_reexecute_penalty(head)
+                if penalty:
+                    stats.retire_reexecutions += 1
+                    head.complete_cycle = cycle + penalty
+                    break
+            self.rob.retire_head()
+            self._commit_one(head, cycle)
+            retired += 1
+        return retired
+
+    def _commit_one(self, dyn, cycle):
+        stats = self.stats
+        stats.instructions += 1
+        instr = dyn.instr
+        if dyn.dest_preg is not None:
+            self.rename.commit_free(dyn.prev_preg)
+            if self.preg_producer.get(dyn.dest_preg) is dyn:
+                del self.preg_producer[dyn.dest_preg]
+        if dyn.is_load:
+            stats.loads += 1
+            self.lq.remove(dyn)
+            self.md.train_commit(dyn.pc)
+            path = self.frontend.path_history
+            if self.rfp is not None:
+                self.rfp.on_load_commit(dyn, path)
+            if self.vp is not None:
+                self.vp.on_load_commit(dyn, path)
+            if self.record_commits:
+                self.committed.append((instr.index, dyn.value))
+        elif dyn.is_store:
+            stats.stores += 1
+            self.memory[dyn.word_addr] = dyn.value
+            release = self.hierarchy.store_commit(dyn.addr, cycle)
+            self.sq.mark_senior(dyn, release)
+        else:
+            if dyn.is_branch:
+                stats.branches += 1
+                if instr.mispredicted:
+                    stats.branch_mispredicts += 1
+            if self.record_commits and dyn.dest_preg is not None:
+                self.committed.append((instr.index, dyn.value))
+        if (
+            self.warmup_instructions
+            and stats.instructions == self.warmup_instructions
+        ):
+            self.warmup_snapshot = self.snapshot_counters()
+
+    # ==================================================================
+    # dispatch (rename + allocate + RFP injection + VP prediction)
+
+    def _dispatch(self, cycle):
+        config = self.config
+        stats = self.stats
+        dispatched = 0
+        while dispatched < config.rename_width:
+            instr = self.frontend.head_ready(cycle)
+            if instr is None:
+                break
+            if self.rob.full:
+                stats.stall_rob += 1
+                break
+            if self.rs.full:
+                stats.stall_rs += 1
+                break
+            if instr.is_load and self.lq.full:
+                stats.stall_lq += 1
+                break
+            if instr.is_store and self.sq.full(cycle):
+                stats.stall_sq += 1
+                break
+            if instr.dst is not None and self.rename.free_count == 0:
+                stats.stall_prf += 1
+                break
+            self.frontend.pop()
+            dyn = DynInstr(instr, self.next_seq, cycle)
+            self.next_seq += 1
+            dyn.src_pregs = self.rename.rename_sources(instr.srcs)
+            if instr.dst is not None:
+                dyn.dest_preg, dyn.prev_preg = self.rename.allocate_dest(instr.dst)
+            self.rob.allocate(dyn)
+            self.rs.allocate(dyn)
+            if self.rfp is not None and (instr.is_load or instr.is_branch):
+                # Criticality extension: remember load PCs feeding address
+                # computations or branch conditions.
+                for preg in dyn.src_pregs:
+                    producer = self.preg_producer.get(preg)
+                    if producer is not None and producer.is_load:
+                        self.rfp.mark_critical(producer.pc)
+            if instr.is_load:
+                self.lq.allocate(dyn)
+                predicted = False
+                # Focused-VP-style gating: only value-predict loads expected
+                # to hit the L1.  A predicted miss gains nothing at commit
+                # (the validation access still bounds retirement) while its
+                # early-woken dependents reorder the miss stream against
+                # the ROB head.
+                if self.vp is not None:
+                    # The hook always runs (it maintains per-PC inflight
+                    # counters); the gate only discards the prediction.
+                    predicted, value = self.vp.on_load_dispatch(
+                        dyn, cycle, self.frontend.path_history
+                    )
+                    if predicted and self.hit_miss is not None \
+                            and not self.hit_miss.probe(instr.pc):
+                        predicted = False
+                    if predicted:
+                        dyn.vp_predicted = True
+                        dyn.vp_value = value
+                        # Dependents may consume the prediction next cycle.
+                        self.prf.write(dyn.dest_preg, value, cycle + 1)
+                if self.rfp is not None:
+                    self.rfp.on_load_dispatch(
+                        dyn, cycle, self.frontend.path_history, inject=not predicted
+                    )
+            elif instr.is_store:
+                self.sq.allocate(dyn)
+            if dyn.dest_preg is not None:
+                self.preg_producer[dyn.dest_preg] = dyn
+            dispatched += 1
+        return dispatched
+
+    # ==================================================================
+    # issue / execute
+
+    def _try_issue(self, dyn, cycle):
+        if dyn.is_load:
+            return self._issue_load(dyn, cycle)
+        if dyn.is_store:
+            return self._issue_store(dyn, cycle)
+        instr = dyn.instr
+        prf_value = self.prf.value
+        srcs = tuple(prf_value[p] for p in dyn.src_pregs)
+        value = evaluate(instr.op, srcs, instr.imm)
+        complete = cycle + OP_LATENCY[instr.op]
+        self._finish(dyn, cycle, complete, value)
+        if dyn.is_branch and instr.mispredicted:
+            self._schedule_event(complete, "branch", dyn)
+        return True
+
+    def _resolve_load_value(self, dyn, store):
+        if store is not None:
+            return store.value
+        return self.memory.get(dyn.word_addr, 0)
+
+    def _issue_load(self, dyn, cycle):
+        config = self.config
+        # Memory-dependence gate: a predicted-conflicting load waits until
+        # every older store has computed its address.
+        if self.md.predict_conflict(dyn.pc) and self.sq.has_older_unexecuted(dyn.seq):
+            dyn.md_waited = True
+            return False
+        word = dyn.word_addr
+        store = self.sq.older_executed_match(dyn.seq, word)
+
+        # ---- RFP fast path --------------------------------------------
+        rfp = self.rfp
+        if rfp is not None and dyn.rfp_state == D.RFP_INFLIGHT:
+            if cycle >= dyn.rfp_bit_set_cycle:
+                if dyn.rfp_addr == dyn.addr:
+                    fresh_seq = store.seq if store is not None else None
+                    if fresh_seq == dyn.rfp_value_seq:
+                        complete = max(dyn.rfp_complete_cycle, cycle + 1)
+                        fully_hidden = dyn.rfp_complete_cycle <= cycle + 1
+                        rfp.record_useful(dyn, fully_hidden)
+                        dyn.rfp_state = D.RFP_USED
+                        dyn.forward_src_seq = fresh_seq
+                        dyn.served_level = "RFP"
+                        if fully_hidden:
+                            self.stats.loads_single_cycle += 1
+                        value = self._resolve_load_value(dyn, store)
+                        self._finish_load(dyn, cycle, complete, value)
+                        return True
+                    # The address was right but a newer older-store executed
+                    # after the prefetch read its data: data is stale; fall
+                    # back to the normal path (no flush — the load has not
+                    # used the data yet, §3.2.1).
+                    rfp.record_stale(dyn)
+                    dyn.rfp_state = D.RFP_WRONG
+                    self.stats.replay_issues += self.rs.charge_replays(dyn.dest_preg)
+                else:
+                    # Wrong predicted address: cancel the speculatively
+                    # woken dependents (replay, not a flush) and re-access.
+                    rfp.record_wrong(dyn)
+                    dyn.rfp_state = D.RFP_WRONG
+                    self.stats.replay_issues += self.rs.charge_replays(dyn.dest_preg)
+            else:
+                # Load woke before the RFP-inflight bit was visible: the
+                # load initiates its own access and the prefetch is wasted.
+                rfp.stats.race_lost += 1
+                dyn.rfp_state = D.RFP_DROPPED
+
+        # ---- EPP path: predicted loads skip the validation access ------
+        if (
+            self.vp is not None
+            and dyn.vp_predicted
+            and not self.vp.wants_validation_access(dyn)
+        ):
+            value = self._resolve_load_value(dyn, store)
+            dyn.forward_src_seq = store.seq if store is not None else None
+            dyn.served_level = "VP"
+            self._finish_load(dyn, cycle, cycle + 1, value)
+            return True
+
+        # ---- normal demand path ----------------------------------------
+        if not self.ports.claim_demand():
+            return False
+        if rfp is not None:
+            rfp.note_load_issued_first(dyn)
+        if store is not None:
+            value = store.value
+            complete = cycle + config.store_forward_latency
+            dyn.forward_src_seq = store.seq
+            dyn.served_level = "FWD"
+            self.stats.load_forwards += 1
+            if self.vp is not None:
+                self.vp.note_forwarded(dyn.pc)
+        else:
+            predicted_hit = (
+                self.hit_miss.predict(dyn.pc) if self.hit_miss is not None else True
+            )
+            result = self.hierarchy.load(dyn.addr, dyn.pc, cycle)
+            complete = result.complete
+            dyn.served_level = result.level
+            hit = result.level == "L1"
+            if self.hit_miss is not None:
+                self.hit_miss.train(dyn.pc, hit)
+                if predicted_hit and not hit:
+                    # Dependents were woken at hit timing; cancel + replay.
+                    self.stats.hit_miss_mispredicts += 1
+                    self.stats.replay_issues += self.rs.charge_replays(dyn.dest_preg)
+                elif not predicted_hit and hit:
+                    # Conservative wakeup: dependents re-traverse the
+                    # scheduling pipe after data returns.
+                    complete += config.sched_latency
+            value = self.memory.get(word, 0)
+        self._finish_load(dyn, cycle, complete, value)
+        return True
+
+    def _issue_store(self, dyn, cycle):
+        prf_value = self.prf.value
+        srcs = tuple(prf_value[p] for p in dyn.src_pregs)
+        value = evaluate(dyn.instr.op, srcs, dyn.instr.imm)
+        self._finish(dyn, cycle, cycle + 1, value)
+        violator = self.lq.oldest_violation(dyn)
+        if violator is not None:
+            self.md.train_violation(violator.pc)
+            self._flush_md(violator, cycle)
+        return True
+
+    def _finish(self, dyn, cycle, complete, value, write_reg=True):
+        dyn.state = D.COMPLETED
+        dyn.issue_cycle = cycle
+        dyn.complete_cycle = complete
+        dyn.value = value
+        if write_reg and dyn.dest_preg is not None:
+            self.prf.write(dyn.dest_preg, value, complete)
+        self.stats.issued += 1
+
+    def _finish_load(self, dyn, cycle, complete, value):
+        vp_correct = True
+        if dyn.vp_predicted and self.vp is not None:
+            vp_correct = self.vp.validate(dyn, value)
+        # A correct value prediction already made the destination ready at
+        # dispatch+1; re-writing it with the (later) load completion would
+        # wrongly delay dependents.
+        write_reg = not (dyn.vp_predicted and vp_correct)
+        self._finish(dyn, cycle, complete, value, write_reg=write_reg)
+        if dyn.vp_predicted and not vp_correct:
+            self._schedule_event(complete, "vp_flush", dyn)
+        self.stats.load_latency_sum += complete - cycle
+        self.stats.load_latency_count += 1
+
+    # ==================================================================
+    # flushes and squashes
+
+    def _squash_younger(self, seq, inclusive):
+        squashed = self.rob.squash_younger_than(seq, inclusive)
+        for dyn in squashed:  # youngest first — RAT walk-back depends on it
+            self.stats.squashed_instructions += 1
+            dyn.state = D.SQUASHED
+            if dyn.dest_preg is not None:
+                self.rename.unmap(dyn.instr.dst, dyn.dest_preg, dyn.prev_preg)
+                if self.preg_producer.get(dyn.dest_preg) is dyn:
+                    del self.preg_producer[dyn.dest_preg]
+            self.rs.discard(dyn)
+            if dyn.is_load:
+                self.lq.remove(dyn)
+                if self.rfp is not None:
+                    self.rfp.on_load_squash(dyn)
+                if self.vp is not None:
+                    self.vp.on_load_squash(dyn)
+            elif dyn.is_store:
+                self.sq.remove(dyn)
+        return squashed
+
+    def _flush_md(self, load_dyn, cycle):
+        """Memory-ordering violation: restart execution from the load."""
+        self.stats.md_flushes += 1
+        self._squash_younger(load_dyn.seq, inclusive=True)
+        self.frontend.flush_rewind(
+            load_dyn.instr.index, cycle + self.config.md_flush_penalty
+        )
+
+    def _flush_vp(self, load_dyn, cycle):
+        """Value misprediction: squash the load's dependents and refetch.
+
+        The load itself survives with its corrected value (already written
+        to the PRF at completion).
+        """
+        self.stats.vp_flushes += 1
+        self._squash_younger(load_dyn.seq, inclusive=False)
+        self.frontend.flush_rewind(
+            load_dyn.instr.index + 1, cycle + self.config.vp.flush_penalty
+        )
+
+    # ==================================================================
+    # inspection
+
+    def architectural_registers(self):
+        """Committed architectural register values (pipeline must be
+        drained, i.e. after :meth:`run`)."""
+        return self.rename.architectural_values()
+
+    def snapshot_counters(self):
+        """Numeric counter snapshot used for warmup-window measurement."""
+        snap = {
+            "cycle": self.cycle,
+            "stats": {
+                k: v
+                for k, v in self.stats.__dict__.items()
+                if isinstance(v, (int, float))
+            },
+            "loads_served": dict(self.hierarchy.loads_served),
+        }
+        if self.rfp is not None:
+            snap["rfp"] = dict(self.rfp.stats.__dict__)
+        return snap
+
+    def __repr__(self):
+        return "<OOOCore %s cycle=%d committed=%d>" % (
+            self.config.name,
+            self.cycle,
+            self.stats.instructions,
+        )

@@ -1,0 +1,109 @@
+"""The in-flight dynamic instruction record.
+
+A :class:`DynInstr` wraps a trace :class:`~repro.isa.instruction.Instruction`
+with everything the pipeline tracks about its in-flight life: renamed
+registers, issue/complete times, RFP prefetch state, and value-prediction
+state.  Plain attributes with ``__slots__`` keep the per-instruction cost
+low — the simulator allocates one of these per dispatched instruction.
+"""
+
+# Instruction lifecycle states.
+SQUASHED = -1
+DISPATCHED = 0
+ISSUED = 1
+COMPLETED = 2
+
+# RFP packet states (mirrors §3.2/§5.2 terminology).
+RFP_NONE = 0       # no prefetch was injected for this load
+RFP_QUEUED = 1     # packet injected, waiting in the RFP FIFO
+RFP_INFLIGHT = 2   # packet won arbitration; RFP-inflight bit will set
+RFP_DROPPED = 3    # packet cancelled (load won the race / TLB miss / squash)
+RFP_USED = 4       # load consumed the prefetched data (useful)
+RFP_WRONG = 5      # prefetched address mismatched; load re-accessed the L1
+
+
+class DynInstr(object):
+    """One dispatched instruction flowing through the OOO window."""
+
+    __slots__ = (
+        "instr",
+        "seq",
+        "state",
+        "dest_preg",
+        "prev_preg",
+        "src_pregs",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "value",
+        "served_level",
+        "forward_src_seq",
+        "replays",
+        # RFP state
+        "rfp_state",
+        "rfp_addr",
+        "rfp_bit_set_cycle",
+        "rfp_complete_cycle",
+        "rfp_value_seq",
+        "rfp_full_hide",
+        # value/address prediction state
+        "vp_predicted",
+        "vp_value",
+        "vp_addr_predicted",
+        "vp_probe_value",
+        "md_waited",
+    )
+
+    def __init__(self, instr, seq, dispatch_cycle):
+        self.instr = instr
+        self.seq = seq
+        self.state = DISPATCHED
+        self.dest_preg = None
+        self.prev_preg = None
+        self.src_pregs = ()
+        self.dispatch_cycle = dispatch_cycle
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.value = 0
+        self.served_level = None
+        self.forward_src_seq = None
+        self.replays = 0
+        self.rfp_state = RFP_NONE
+        self.rfp_addr = None
+        self.rfp_bit_set_cycle = -1
+        self.rfp_complete_cycle = -1
+        self.rfp_value_seq = None
+        self.rfp_full_hide = False
+        self.vp_predicted = False
+        self.vp_value = 0
+        self.vp_addr_predicted = None
+        self.vp_probe_value = None
+        self.md_waited = False
+
+    @property
+    def is_load(self):
+        return self.instr.is_load
+
+    @property
+    def is_store(self):
+        return self.instr.is_store
+
+    @property
+    def is_branch(self):
+        return self.instr.is_branch
+
+    @property
+    def addr(self):
+        return self.instr.addr
+
+    @property
+    def word_addr(self):
+        """8-byte-aligned address used for store/load matching."""
+        return self.instr.addr & ~7 if self.instr.addr is not None else None
+
+    @property
+    def pc(self):
+        return self.instr.pc
+
+    def __repr__(self):
+        return "<DynInstr seq=%d %r state=%d>" % (self.seq, self.instr, self.state)

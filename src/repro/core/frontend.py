@@ -1,0 +1,110 @@
+"""Trace-driven frontend with a uop-cache-style fixed fetch-to-alloc delay.
+
+The frontend models exactly what the paper leans on in §2.2/§3: with a uop
+cache the fetch-to-allocate window is short (``frontend_latency``, default
+4 cycles), so fetch-time address predictors rarely finish a 5-cycle L1
+probe in time, while an RFP launched *after rename* inherits the full
+scheduling-pipeline window instead.
+
+Branch handling is trace driven without wrong-path fetch: a mispredicted
+branch blocks further fetch until it resolves, then fetch resumes after the
+redirect penalty.  Flushes (memory-ordering or value mispredictions) rewind
+the trace cursor and restart fetch from the faulting instruction.
+"""
+
+from collections import deque
+
+from repro.isa.trace import TraceCursor
+
+PATH_MASK = 0xFFFF
+
+
+class Frontend(object):
+    """Fetches trace instructions into a small decoded-uop buffer."""
+
+    def __init__(self, config, trace):
+        self.config = config
+        self.cursor = TraceCursor(trace)
+        self.buffer = deque()
+        self.buffer_capacity = config.fetch_width * (config.frontend_latency + 2)
+        self.stall_until = 0
+        self.blocked_branch_index = None
+        #: Global branch path history (taken bits), consumed by context and
+        #: path-based predictors.
+        self.path_history = 0
+        self.fetched = 0
+
+    @property
+    def drained(self):
+        return self.cursor.exhausted and not self.buffer
+
+    def fetch(self, cycle, on_fetch=None):
+        """Fetch up to ``fetch_width`` instructions this cycle.
+
+        ``on_fetch(instr, cycle, path_history)`` is invoked per instruction
+        (the DLVP-family predictors hook their fetch-time probes here).
+        """
+        if self.blocked_branch_index is not None or cycle < self.stall_until:
+            return 0
+        fetched = 0
+        ready_at = cycle + self.config.frontend_latency
+        while fetched < self.config.fetch_width:
+            if len(self.buffer) >= self.buffer_capacity:
+                break
+            instr = self.cursor.peek()
+            if instr is None:
+                break
+            self.cursor.next()
+            self.buffer.append((ready_at, instr))
+            if on_fetch is not None:
+                on_fetch(instr, cycle, self.path_history)
+            fetched += 1
+            self.fetched += 1
+            if instr.is_branch:
+                self.path_history = (
+                    (self.path_history << 1) | (1 if instr.taken else 0)
+                ) & PATH_MASK
+                if instr.mispredicted:
+                    self.blocked_branch_index = instr.index
+                    break
+        return fetched
+
+    def head_ready(self, cycle):
+        """The next decoded instruction ready to dispatch, or None."""
+        if not self.buffer:
+            return None
+        ready_at, instr = self.buffer[0]
+        return instr if ready_at <= cycle else None
+
+    def pop(self):
+        return self.buffer.popleft()[1]
+
+    def branch_resolved(self, instr_index, cycle):
+        """A mispredicted branch resolved; resume fetch after the redirect.
+
+        The configured penalty is the *total* resolve-to-dispatch cost; the
+        frontend pipe refill (``frontend_latency``) happens naturally as
+        fetched uops age through the buffer, so only the remainder is
+        charged as a fetch stall.
+        """
+        if self.blocked_branch_index == instr_index:
+            self.blocked_branch_index = None
+            extra = max(
+                1, self.config.branch_redirect_penalty - self.config.frontend_latency
+            )
+            self.stall_until = cycle + extra
+
+    def flush_rewind(self, trace_index, resume_cycle):
+        """Squash fetched-but-undispatched uops and restart from
+        ``trace_index`` once ``resume_cycle`` arrives."""
+        self.buffer.clear()
+        self.cursor.rewind(trace_index)
+        self.blocked_branch_index = None
+        self.stall_until = resume_cycle
+
+    def __repr__(self):
+        return "<Frontend idx=%d buffered=%d stall_until=%d>" % (
+            self.cursor.index,
+            len(self.buffer),
+            self.stall_until,
+        )

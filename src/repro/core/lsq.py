@@ -1,0 +1,150 @@
+"""Load/store queues, store-to-load forwarding, memory disambiguation.
+
+This is the machinery RFP piggybacks on (paper §3.2.1): a prefetch launched
+after rename scans older stores exactly like a demand load would, waits or
+proceeds according to the memory-dependence predictor, and therefore needs
+no second "validation" access — if the predicted address is right, the data
+is right.
+
+The dependence predictor is a store-set-flavoured PC-indexed saturating
+counter (Chrysos & Emer): loads that suffered an ordering violation are
+forced to wait for older stores; the prediction decays so transient
+conflicts do not throttle a load PC forever.
+"""
+
+
+class MemDepPredictor(object):
+    """PC-indexed conflict predictor with probabilistic decay."""
+
+    def __init__(self, num_entries=4096, decay_period=64):
+        self.num_entries = num_entries
+        self.decay_period = decay_period
+        self.table = [0] * num_entries
+        self._commit_tick = 0
+        self.violations = 0
+
+    def _index(self, pc):
+        return (pc >> 2) % self.num_entries
+
+    def predict_conflict(self, pc):
+        """True when the load at ``pc`` should wait for older stores."""
+        return self.table[self._index(pc)] >= 2
+
+    def train_violation(self, pc):
+        """A load at ``pc`` consumed stale data; predict conflicts hard."""
+        self.table[self._index(pc)] = 3
+        self.violations += 1
+
+    def train_commit(self, pc):
+        """Periodic decay so stale conflict predictions expire."""
+        self._commit_tick += 1
+        if self._commit_tick % self.decay_period == 0:
+            index = self._index(pc)
+            if self.table[index] > 0:
+                self.table[index] -= 1
+
+
+class StoreQueue(object):
+    """Program-ordered in-flight stores plus the senior (committed,
+    draining-to-L1) stores that still hold queue slots."""
+
+    def __init__(self, num_entries):
+        self.num_entries = num_entries
+        self.entries = []          # active DynInstr stores, oldest first
+        self.senior = []           # (release_cycle,) for committed stores
+        self.forwards = 0
+
+    @property
+    def occupancy(self):
+        return len(self.entries) + len(self.senior)
+
+    def full(self, cycle):
+        self.drain(cycle)
+        return self.occupancy >= self.num_entries
+
+    def allocate(self, dyn):
+        self.entries.append(dyn)
+
+    def remove(self, dyn):
+        self.entries.remove(dyn)
+
+    def drain(self, cycle):
+        """Release senior entries whose L1 write has completed."""
+        if self.senior:
+            self.senior = [t for t in self.senior if t > cycle]
+
+    def mark_senior(self, dyn, release_cycle):
+        """Move a committing store to the senior (post-commit drain) list."""
+        self.entries.remove(dyn)
+        self.senior.append(release_cycle)
+
+    def older_executed_match(self, seq, word_addr):
+        """Youngest *executed* store older than ``seq`` writing ``word_addr``.
+
+        This is the forwarding source for a load (or RFP request) at ``seq``.
+        """
+        best = None
+        for store in self.entries:
+            if store.seq >= seq:
+                break
+            if store.state >= 1 and store.word_addr == word_addr:
+                best = store
+        if best is not None:
+            self.forwards += 1
+        return best
+
+    def has_older_unexecuted(self, seq):
+        """True when any store older than ``seq`` has not yet executed
+        (its address is therefore unknown to the pipeline)."""
+        for store in self.entries:
+            if store.seq >= seq:
+                break
+            if store.state < 1:
+                return True
+        return False
+
+    def __len__(self):
+        return len(self.entries)
+
+
+class LoadQueue(object):
+    """Program-ordered in-flight loads; source of violation checks."""
+
+    def __init__(self, num_entries):
+        self.num_entries = num_entries
+        self.entries = []
+
+    @property
+    def full(self):
+        return len(self.entries) >= self.num_entries
+
+    def allocate(self, dyn):
+        self.entries.append(dyn)
+
+    def remove(self, dyn):
+        self.entries.remove(dyn)
+
+    def oldest_violation(self, store):
+        """Find the oldest younger load that executed with data older than
+        ``store``'s — a memory-ordering violation.
+
+        A load is a violator when it has executed, reads the store's word,
+        and its data source predates the store (memory, or a forward from a
+        store older than this one).  Loads that forwarded from this store or
+        a younger one are safe.
+        """
+        word = store.word_addr
+        oldest = None
+        for load in self.entries:
+            if load.seq <= store.seq:
+                continue
+            if load.state < 1 or load.word_addr != word:
+                continue
+            src = load.forward_src_seq
+            if src is None or src < store.seq:
+                if oldest is None or load.seq < oldest.seq:
+                    oldest = load
+        return oldest
+
+    def __len__(self):
+        return len(self.entries)

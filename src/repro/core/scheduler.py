@@ -1,0 +1,130 @@
+"""Reservation station: wakeup, select, and replay accounting.
+
+The model collapses the 3-cycle wakeup/select/RF-read pipe (Stark et al.,
+paper Fig. 6) into issue->ready offsets: an instruction selected at cycle C
+with latency L makes its result consumable at C+L, which preserves
+back-to-back dependent execution for 1-cycle ops (Fig. 7) and the 5-cycle
+load-to-use path (Fig. 8) exactly.
+
+Speculative wakeup is accounted for via *replay debt*: when a load turns
+out slower than its dependents were told (L1 miss under a hit prediction,
+or an RFP address mismatch), the dependents already woken must be cancelled
+and re-dispatched.  That consumes scheduler bandwidth, so each such
+dependent burns one future issue slot (paper §2.5: "this takes some
+additional scheduler bandwidth for re-dispatches").
+"""
+
+from repro.core import dyninstr as D
+from repro.isa.opcodes import port_class
+
+
+class ReservationStation(object):
+    """Bounded pool of waiting instructions with oldest-first select."""
+
+    def __init__(self, config, prf):
+        self.config = config
+        self.prf = prf
+        self.entries = []
+        self.replay_debt = 0
+        self.issued_total = 0
+        self.replay_issues_total = 0
+
+    @property
+    def full(self):
+        return len(self.entries) >= self.config.rs_entries
+
+    @property
+    def occupancy(self):
+        return len(self.entries)
+
+    def allocate(self, dyn):
+        if self.full:
+            raise RuntimeError("RS overflow")
+        self.entries.append(dyn)
+
+    def discard(self, dyn):
+        """Remove an entry if present (squash path)."""
+        try:
+            self.entries.remove(dyn)
+        except ValueError:
+            pass
+
+    def _fu_budget(self):
+        config = self.config
+        return {
+            "alu": config.alu_units,
+            "mul": config.mul_units,
+            "fp": config.fp_units,
+            "load": config.load_ports + config.rfp_dedicated_ports,
+            "store": config.store_ports,
+        }
+
+    def select(self, cycle, try_issue):
+        """Issue up to ``issue_width`` ready instructions, oldest first.
+
+        ``try_issue(dyn, cycle)`` performs the operation-specific issue work
+        and returns True when the instruction actually left the window
+        (False = structural hazard such as a missing load port or a memory
+        dependence the instruction must wait out; the entry stays).
+        """
+        issued = 0
+        width = self.config.issue_width
+        while self.replay_debt > 0 and issued < width:
+            self.replay_debt -= 1
+            self.replay_issues_total += 1
+            issued += 1
+        if issued >= width or not self.entries:
+            return issued
+        budget = self._fu_budget()
+        ready_cycle = self.prf.ready_cycle
+        min_delay = self.config.sched_latency
+        for dyn in list(self.entries):
+            if issued >= width:
+                break
+            # An earlier issue this cycle may have flushed younger entries
+            # (memory-ordering violation detected at a store's execution).
+            if dyn.state != D.DISPATCHED:
+                continue
+            # Even an instruction whose operands are ready at allocation must
+            # traverse the wakeup/select/RF-read pipe (paper §3: "at least 3
+            # cycles ... a modest run-ahead window" for the RFP packet).
+            if cycle < dyn.dispatch_cycle + min_delay:
+                continue
+            ready = True
+            for preg in dyn.src_pregs:
+                if ready_cycle[preg] > cycle:
+                    ready = False
+                    break
+            if not ready:
+                continue
+            fu_class = port_class(dyn.instr.op)
+            if fu_class == "branch":
+                fu_class = "alu"
+            if budget[fu_class] <= 0:
+                continue
+            if try_issue(dyn, cycle):
+                budget[fu_class] -= 1
+                issued += 1
+                self.issued_total += 1
+                self.discard(dyn)
+        return issued
+
+    def charge_replays(self, dest_preg):
+        """Count current consumers of ``dest_preg`` as replayed dependents.
+
+        Each waiting consumer burns one future issue slot, modelling the
+        cancel-and-redispatch cost of a wrong speculative wakeup.
+        """
+        count = 0
+        for dyn in self.entries:
+            if dest_preg in dyn.src_pregs:
+                count += 1
+        self.replay_debt += count
+        return count
+
+    def __repr__(self):
+        return "<RS %d/%d debt=%d>" % (
+            len(self.entries),
+            self.config.rs_entries,
+            self.replay_debt,
+        )

@@ -1,0 +1,12 @@
+"""Architectural reference emulator.
+
+Runs a trace in program order with the same value semantics as the OOO
+core.  Tests assert that the core's committed architectural state (register
+values and memory) matches the emulator's bit for bit — a strong end-to-end
+invariant over renaming, forwarding, disambiguation flushes, RFP data
+supply, and value-prediction recovery.
+"""
+
+from repro.emu.emulator import ArchEmulator
+
+__all__ = ["ArchEmulator"]

@@ -1,0 +1,47 @@
+"""In-order architectural emulator used as a correctness oracle."""
+
+from repro.isa.opcodes import Op, evaluate
+from repro.isa.registers import ArchRegisters
+
+
+class ArchEmulator(object):
+    """Executes a trace sequentially with architectural semantics.
+
+    Attributes after :meth:`run`:
+        registers: final :class:`~repro.isa.registers.ArchRegisters`.
+        memory: final memory image (8-byte-aligned address -> value).
+        load_values: list of the value every dynamic load returned, in
+            program order (used to validate the core's load resolution).
+    """
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.registers = ArchRegisters()
+        self.memory = dict(trace.memory_image)
+        self.load_values = []
+        self.store_values = []
+
+    def step(self, instr):
+        """Execute one instruction architecturally."""
+        srcs = tuple(self.registers.read(r) for r in instr.srcs)
+        if instr.op == Op.LOAD:
+            value = self.memory.get(instr.addr & ~7, 0)
+            self.load_values.append(value)
+        elif instr.op == Op.STORE:
+            value = evaluate(instr.op, srcs, instr.imm)
+            self.memory[instr.addr & ~7] = value
+            self.store_values.append(value)
+        else:
+            value = evaluate(instr.op, srcs, instr.imm)
+        if instr.dst is not None:
+            self.registers.write(instr.dst, value)
+        return value
+
+    def run(self, limit=None):
+        """Execute the whole trace (or the first ``limit`` instructions)."""
+        instructions = self.trace.instructions
+        if limit is not None:
+            instructions = instructions[:limit]
+        for instr in instructions:
+            self.step(instr)
+        return self

@@ -1,0 +1,38 @@
+"""Instruction-set layer: opcodes, value semantics, instructions, traces.
+
+The simulator is execution driven: every instruction carries an opcode with
+defined 64-bit integer semantics (`repro.isa.opcodes`), and loads/stores move
+real values through a word-granular memory image. This lets value prediction
+accuracy *emerge* from the data instead of being asserted, and lets tests
+cross-check the out-of-order core against an architectural emulator.
+"""
+
+from repro.isa.opcodes import (
+    MASK64,
+    Op,
+    OP_LATENCY,
+    evaluate,
+    is_branch,
+    is_load,
+    is_mem,
+    is_store,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.registers import ArchRegisters, NUM_ARCH_REGS
+from repro.isa.trace import Trace, TraceCursor
+
+__all__ = [
+    "MASK64",
+    "Op",
+    "OP_LATENCY",
+    "evaluate",
+    "is_branch",
+    "is_load",
+    "is_mem",
+    "is_store",
+    "Instruction",
+    "ArchRegisters",
+    "NUM_ARCH_REGS",
+    "Trace",
+    "TraceCursor",
+]

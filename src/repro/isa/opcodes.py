@@ -1,0 +1,173 @@
+"""Opcodes, execution latencies, and 64-bit integer value semantics.
+
+The opcode set is deliberately small but covers the behaviours the RFP paper
+cares about: single-cycle ALU chains (back-to-back scheduling), multi-cycle
+multiply/divide/FP (port pressure, FSPEC-style FMA bottlenecks), loads and
+stores (the L1 pipeline), and branches (frontend redirects, squashes).
+
+Value semantics are total functions over 64-bit unsigned integers so that the
+out-of-order core and the architectural reference emulator compute identical
+committed state, bit for bit.
+"""
+
+from enum import IntEnum
+
+MASK64 = (1 << 64) - 1
+
+
+class Op(IntEnum):
+    """Opcodes understood by the core, the emulator, and the generator."""
+
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SHL = 5
+    SHR = 6
+    MOV = 7
+    MUL = 8
+    DIV = 9
+    FPADD = 10
+    FPMUL = 11
+    FMA = 12
+    LOAD = 13
+    STORE = 14
+    BRANCH = 15
+    NOP = 16
+
+
+#: Execution latency in cycles for each opcode.  Loads are listed at 1 here:
+#: their latency is dominated by the memory pipeline and is computed by the
+#: core (address generation + L1/L2/LLC/DRAM), not by this table.
+OP_LATENCY = {
+    Op.ADD: 1,
+    Op.SUB: 1,
+    Op.AND: 1,
+    Op.OR: 1,
+    Op.XOR: 1,
+    Op.SHL: 1,
+    Op.SHR: 1,
+    Op.MOV: 1,
+    Op.MUL: 3,
+    Op.DIV: 18,
+    Op.FPADD: 4,
+    Op.FPMUL: 4,
+    Op.FMA: 5,
+    Op.LOAD: 1,
+    Op.STORE: 1,
+    Op.BRANCH: 1,
+    Op.NOP: 1,
+}
+
+_ALU_OPS = frozenset(
+    {Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.MOV, Op.NOP}
+)
+_MUL_OPS = frozenset({Op.MUL, Op.DIV})
+_FP_OPS = frozenset({Op.FPADD, Op.FPMUL, Op.FMA})
+
+
+def is_load(op):
+    """Return True for the load opcode."""
+    return op == Op.LOAD
+
+
+def is_store(op):
+    """Return True for the store opcode."""
+    return op == Op.STORE
+
+
+def is_mem(op):
+    """Return True for opcodes that access memory."""
+    return op == Op.LOAD or op == Op.STORE
+
+
+def is_branch(op):
+    """Return True for the branch opcode."""
+    return op == Op.BRANCH
+
+
+def is_alu(op):
+    """Return True for single-cycle integer opcodes."""
+    return op in _ALU_OPS
+
+
+def is_mul(op):
+    """Return True for opcodes executed on the multiply/divide port."""
+    return op in _MUL_OPS
+
+
+def is_fp(op):
+    """Return True for opcodes executed on the FP/vector ports."""
+    return op in _FP_OPS
+
+
+def port_class(op):
+    """Map an opcode to the functional-unit class that executes it.
+
+    Returns one of ``"alu"``, ``"mul"``, ``"fp"``, ``"load"``, ``"store"``,
+    ``"branch"``.  The scheduler uses this to enforce per-class issue limits.
+    """
+    if op in _ALU_OPS:
+        return "alu"
+    if op in _MUL_OPS:
+        return "mul"
+    if op in _FP_OPS:
+        return "fp"
+    if op == Op.LOAD:
+        return "load"
+    if op == Op.STORE:
+        return "store"
+    if op == Op.BRANCH:
+        return "branch"
+    raise ValueError("unknown opcode: %r" % (op,))
+
+
+def evaluate(op, srcs, imm=0):
+    """Compute the 64-bit result of a non-memory opcode.
+
+    ``srcs`` is the tuple of source-register values in operand order.  The
+    immediate, when present, acts as an extra operand.  Memory ops and
+    branches return values too: a STORE's "result" is the value it writes
+    (src0 + imm), and a BRANCH's result is its taken/not-taken condition bit,
+    which keeps the dataflow graph uniform.
+    """
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    if op == Op.ADD:
+        return (a + (b or 0) + imm) & MASK64
+    if op == Op.SUB:
+        return (a - (b or 0) - imm) & MASK64
+    if op == Op.AND:
+        return (a & (b if b is not None else MASK64)) & MASK64
+    if op == Op.OR:
+        return (a | (b or 0) | imm) & MASK64
+    if op == Op.XOR:
+        return (a ^ (b or 0) ^ imm) & MASK64
+    if op == Op.SHL:
+        return (a << (imm & 63)) & MASK64
+    if op == Op.SHR:
+        return (a >> (imm & 63)) & MASK64
+    if op == Op.MOV:
+        return (srcs[0] if srcs else imm) & MASK64
+    if op == Op.MUL:
+        return (a * (b if b is not None else imm)) & MASK64
+    if op == Op.DIV:
+        divisor = (b if b is not None else imm) or 1
+        return (a // divisor) & MASK64
+    if op == Op.FPADD:
+        return (a + (b or 0) + imm) & MASK64
+    if op == Op.FPMUL:
+        return (a * ((b or 0) | 1)) & MASK64
+    if op == Op.FMA:
+        factor = b if b is not None else 1
+        addend = srcs[2] if len(srcs) > 2 else imm
+        return (a * factor + addend) & MASK64
+    if op == Op.STORE:
+        return (srcs[0] if srcs else imm) & MASK64
+    if op == Op.BRANCH:
+        cond = srcs[0] if srcs else imm
+        return 1 if (cond & 1) else 0
+    if op == Op.NOP:
+        return 0
+    raise ValueError("evaluate() does not handle %r" % (op,))

@@ -1,0 +1,108 @@
+"""Trace container and the rewindable fetch cursor.
+
+A :class:`Trace` is the unit of work the simulator consumes: a list of
+dynamic instructions plus the initial memory image they execute against.
+The :class:`TraceCursor` is the frontend's view of the trace; it supports
+rewinding to an arbitrary instruction index, which is how memory-ordering
+and value-misprediction flushes restart execution from the offending load.
+"""
+
+
+class Trace(object):
+    """An instruction trace plus its initial memory image.
+
+    Attributes:
+        name: workload name (e.g. ``"spec06_mcf"``).
+        category: workload category (e.g. ``"ISPEC06"``).
+        instructions: list of :class:`~repro.isa.instruction.Instruction`.
+        memory_image: dict mapping 8-byte-aligned virtual address -> initial
+            64-bit value.  Addresses absent from the image read as zero.
+    """
+
+    def __init__(self, instructions, memory_image=None, name="trace", category=""):
+        self.name = name
+        self.category = category
+        self.instructions = list(instructions)
+        self.memory_image = dict(memory_image or {})
+        for index, instr in enumerate(self.instructions):
+            instr.index = index
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    @property
+    def load_count(self):
+        return sum(1 for i in self.instructions if i.is_load)
+
+    @property
+    def store_count(self):
+        return sum(1 for i in self.instructions if i.is_store)
+
+    @property
+    def branch_count(self):
+        return sum(1 for i in self.instructions if i.is_branch)
+
+    def mix_summary(self):
+        """Return a dict of opcode-class fractions, for reporting."""
+        total = len(self.instructions) or 1
+        loads = self.load_count
+        stores = self.store_count
+        branches = self.branch_count
+        other = total - loads - stores - branches
+        return {
+            "loads": loads / total,
+            "stores": stores / total,
+            "branches": branches / total,
+            "compute": other / total,
+        }
+
+    def __repr__(self):
+        return "<Trace %s: %d instrs, %d loads>" % (
+            self.name,
+            len(self.instructions),
+            self.load_count,
+        )
+
+
+class TraceCursor(object):
+    """Rewindable fetch pointer over a trace.
+
+    The out-of-order core fetches through this cursor.  ``rewind(index)``
+    implements pipeline flushes: after a memory-disambiguation or
+    value-prediction flush the core squashes the ROB back to the faulting
+    instruction and re-fetches the trace from that index.
+    """
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.index = 0
+
+    @property
+    def exhausted(self):
+        return self.index >= len(self.trace.instructions)
+
+    def peek(self):
+        """Return the next instruction without consuming it, or None."""
+        if self.exhausted:
+            return None
+        return self.trace.instructions[self.index]
+
+    def next(self):
+        """Consume and return the next instruction, or None when exhausted."""
+        if self.exhausted:
+            return None
+        instr = self.trace.instructions[self.index]
+        self.index += 1
+        return instr
+
+    def rewind(self, index):
+        """Reset the cursor so the next fetch returns instruction ``index``."""
+        if index < 0 or index > len(self.trace.instructions):
+            raise ValueError("rewind index %d out of range" % index)
+        self.index = index

@@ -1,0 +1,26 @@
+"""Memory subsystem: caches, MSHRs, DTLB, DRAM, ports, hierarchy.
+
+The hierarchy mirrors the paper's baseline (Intel Tiger-Lake-like): a 48KB
+L1D at 5 cycles, a 1.25MB L2, a 3MB LLC slice, and 200-cycle DRAM, with a
+small MSHR file, limited L1 load ports, and a stride prefetcher at the L2.
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import DTLB
+from repro.memory.dram import DRAM
+from repro.memory.ports import LoadPortArbiter
+from repro.memory.prefetcher import L2StridePrefetcher
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MSHRFile",
+    "DTLB",
+    "DRAM",
+    "LoadPortArbiter",
+    "L2StridePrefetcher",
+    "AccessResult",
+    "MemoryHierarchy",
+]

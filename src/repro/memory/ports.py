@@ -1,0 +1,90 @@
+"""Per-cycle L1 load-port arbitration.
+
+The paper's central bandwidth argument: RFP adds **no** load ports.  RFP
+requests bid for whatever ports demand loads leave free each cycle, at the
+lowest priority.  Fig. 14 evaluates an alternative with doubled ports where
+half are *dedicated* to RFP; the arbiter supports both shapes.
+"""
+
+
+class LoadPortArbiter(object):
+    """Tracks L1 load-port grants within a single cycle.
+
+    The core calls :meth:`begin_cycle` once per cycle, then demand loads
+    claim ports via :meth:`claim_demand` and the RFP engine claims leftovers
+    via :meth:`claim_rfp`.
+
+    Args:
+        num_ports: ports usable by demand loads.
+        rfp_dedicated_ports: extra ports only RFP may use (Fig. 14 config).
+        rfp_shares_demand_ports: when True (default) RFP may also use
+            demand ports left free this cycle.
+    """
+
+    def __init__(self, num_ports=2, rfp_dedicated_ports=0, rfp_shares_demand_ports=True):
+        self.num_ports = num_ports
+        self.rfp_dedicated_ports = rfp_dedicated_ports
+        self.rfp_shares_demand_ports = rfp_shares_demand_ports
+        self._cycle = -1
+        self._demand_used = 0
+        self._rfp_dedicated_used = 0
+        self._rfp_shared_used = 0
+        self.demand_grants = 0
+        self.rfp_grants = 0
+        self.demand_denies = 0
+        self.rfp_denies = 0
+
+    def begin_cycle(self, cycle):
+        """Reset per-cycle grant counters."""
+        self._cycle = cycle
+        self._demand_used = 0
+        self._rfp_dedicated_used = 0
+        self._rfp_shared_used = 0
+
+    def claim_demand(self):
+        """Try to grant a demand load a port this cycle."""
+        if self._demand_used < self.num_ports:
+            self._demand_used += 1
+            self.demand_grants += 1
+            return True
+        self.demand_denies += 1
+        return False
+
+    def free_demand_ports(self):
+        """Demand ports not claimed so far this cycle."""
+        return self.num_ports - self._demand_used
+
+    def claim_rfp(self):
+        """Try to grant an RFP request a port this cycle.
+
+        Dedicated RFP ports are consumed first; shared demand ports are used
+        only when allowed and left over, so RFP can never displace a demand
+        load that already claimed its port this cycle.
+        """
+        if self._rfp_dedicated_used < self.rfp_dedicated_ports:
+            self._rfp_dedicated_used += 1
+            self.rfp_grants += 1
+            return True
+        if self.rfp_shares_demand_ports:
+            shared_free = self.num_ports - self._demand_used - self._rfp_shared_used
+            if shared_free > 0:
+                self._rfp_shared_used += 1
+                self.rfp_grants += 1
+                return True
+        self.rfp_denies += 1
+        return False
+
+    def utilization(self):
+        """Return (demand grants, rfp grants, denials) counters as a dict."""
+        return {
+            "demand_grants": self.demand_grants,
+            "rfp_grants": self.rfp_grants,
+            "demand_denies": self.demand_denies,
+            "rfp_denies": self.rfp_denies,
+        }
+
+    def __repr__(self):
+        return "<LoadPortArbiter %d demand + %d dedicated RFP>" % (
+            self.num_ports,
+            self.rfp_dedicated_ports,
+        )

@@ -1,0 +1,89 @@
+"""Baseline L2 streaming prefetcher.
+
+Any Tiger-Lake-like baseline ships with hardware memory prefetchers; RFP's
+gains are *on top of* them (RFP targets the L1-hit latency wall, not the
+DRAM wall).  We model an Intel-style L2 *streamer*: per-4KB-page tracking
+of the L1-miss stream with a direction score, prefetching ``degree`` lines
+ahead once a direction is established.
+
+Page-based (rather than PC-based) tracking matters for fidelity here: with
+RFP enabled, the same static load's misses arrive from two interleaved
+fronts (early RFP requests and late demand requests).  A per-PC stride
+detector sees alternating large +/- deltas and collapses; a per-page
+streamer sees two ascending streams in neighbouring pages and keeps
+prefetching — which is how real streamers behave.
+"""
+
+LINES_PER_PAGE_SHIFT = 6  # 4KB page / 64B line
+
+
+class _PageEntry(object):
+    __slots__ = ("min_line", "max_line", "fwd_score", "bwd_score")
+
+    def __init__(self, line):
+        self.min_line = line
+        self.max_line = line
+        self.fwd_score = 0
+        self.bwd_score = 0
+
+
+class L2StridePrefetcher(object):
+    """Per-page direction-scored streamer trained on L1 misses.
+
+    Args:
+        num_entries: page-tracking-table entries (LRU-evicted dict).
+        degree: lines prefetched ahead once a direction is established.
+        threshold: |direction score| needed before prefetching.
+    """
+
+    def __init__(self, num_entries=64, degree=4, threshold=2):
+        self.num_entries = num_entries
+        self.degree = degree
+        self.threshold = threshold
+        self.pages = {}
+        self.issued = 0
+        self.trainings = 0
+
+    def train(self, pc, line):
+        """Observe an L1 miss; return the list of line addresses to prefetch.
+
+        ``pc`` is accepted for interface stability (a PC-indexed prefetcher
+        can be swapped in) but the streamer keys on the page.
+        """
+        self.trainings += 1
+        page = line >> LINES_PER_PAGE_SHIFT
+        entry = self.pages.get(page)
+        if entry is None:
+            if len(self.pages) >= self.num_entries:
+                self.pages.pop(next(iter(self.pages)))
+            self.pages[page] = _PageEntry(line)
+            return []
+        # Refresh LRU position.
+        self.pages.pop(page)
+        self.pages[page] = entry
+        # Range tracking: a miss past the page's known footprint extends the
+        # stream in that direction.  Misses inside the footprint (a trailing
+        # second front, replays) are ignored — this is what makes the
+        # streamer robust to interleaved RFP/demand fronts.
+        if line > entry.max_line:
+            entry.max_line = line
+            entry.fwd_score = min(self.threshold + 2, entry.fwd_score + 1)
+            if entry.fwd_score < self.threshold:
+                return []
+            prefetches = [line + k + 1 for k in range(self.degree)]
+        elif line < entry.min_line:
+            entry.min_line = line
+            entry.bwd_score = min(self.threshold + 2, entry.bwd_score + 1)
+            if entry.bwd_score < self.threshold:
+                return []
+            prefetches = [line - k - 1 for k in range(self.degree)]
+        else:
+            return []
+        self.issued += len(prefetches)
+        return [p for p in prefetches if p >= 0]
+
+    def __repr__(self):
+        return "<L2StreamPrefetcher %d pages, degree %d>" % (
+            self.num_entries,
+            self.degree,
+        )

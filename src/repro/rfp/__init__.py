@@ -1,0 +1,33 @@
+"""Register File Prefetching (the paper's contribution, §3).
+
+Components:
+
+- :class:`~repro.rfp.prefetch_table.PrefetchTable` — PC-indexed stride
+  predictor trained at load retirement, with probabilistic confidence,
+  2-bit utility replacement, and a 7-bit inflight counter per entry.
+- :class:`~repro.rfp.pat.PageAddressTable` — the 64-entry page-frame
+  compression table (§3.5) that halves PT storage.
+- :class:`~repro.rfp.context.ContextPrefetcher` — the optional path-based
+  (DLVP-style) context predictor (§5.5.3).
+- :class:`~repro.rfp.engine.RFPEngine` — the RFP FIFO queue, L1-port
+  arbitration at lowest priority, in-flight store handling, and the
+  RFP-inflight bit timing contract with the scheduler.
+- :mod:`repro.rfp.storage` — Table 1's storage arithmetic.
+"""
+
+from repro.rfp.prefetch_table import PrefetchTable, PTEntry
+from repro.rfp.pat import PageAddressTable
+from repro.rfp.context import ContextPrefetcher
+from repro.rfp.engine import RFPEngine, RFPStats
+from repro.rfp.storage import storage_report, pt_entry_bits
+
+__all__ = [
+    "PrefetchTable",
+    "PTEntry",
+    "PageAddressTable",
+    "ContextPrefetcher",
+    "RFPEngine",
+    "RFPStats",
+    "storage_report",
+    "pt_entry_bits",
+]

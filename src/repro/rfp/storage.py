@@ -1,0 +1,64 @@
+"""Storage arithmetic for RFP structures (paper Table 1).
+
+With the PAT optimisation a PT entry holds: tag (16b), confidence (1-3b),
+utility (2b), stride (5-8b), inflight (7b), PAT pointer (6b), page offset
+(12b).  Without it the pointer+offset are replaced by a full virtual
+address.  The paper's headline: 1K entries -> 6.5KB, 2K -> 12KB, PAT 352b,
+one RFP-inflight bit per RS entry (128b).
+"""
+
+
+def pt_entry_bits(config, use_pat=None):
+    """Bits per Prefetch Table entry for an :class:`RFPConfig`."""
+    if use_pat is None:
+        use_pat = config.use_pat
+    bits = 16  # tag
+    bits += config.confidence_bits
+    bits += config.utility_bits
+    bits += 7  # inflight counter
+    if use_pat:
+        bits += 5  # compressed stride (Table 1 stores 5 bits with PAT)
+        bits += 6  # PAT pointer
+        bits += 12  # page offset
+    else:
+        bits += config.stride_bits
+        bits += 64  # full virtual address
+    return bits
+
+
+def pat_bits(config):
+    """Total PAT storage in bits (44-bit page frame numbers, Table 1)."""
+    return config.pat_entries * 44 if config.use_pat else 0
+
+
+def storage_report(config, rs_entries=128):
+    """Return Table 1 as a list of (structure, fields, bits) rows plus a
+    totals dict.  ``config`` is an :class:`repro.core.config.RFPConfig`."""
+    entry_bits = pt_entry_bits(config)
+    pt_bits = entry_bits * config.pt_entries
+    pat_total = pat_bits(config)
+    inflight_bits = rs_entries  # one RFP-inflight bit per RS entry
+    queue_bits = config.queue_entries * (64 + 10)  # vaddr + prfid per packet
+    rows = [
+        (
+            "Prefetch Table (%d entries)" % config.pt_entries,
+            "%d bits/entry" % entry_bits,
+            pt_bits,
+        ),
+        (
+            "Page Address Table (%d entries)" % (config.pat_entries if config.use_pat else 0),
+            "44-bit page address",
+            pat_total,
+        ),
+        ("RFP-inflight (%d RS entries)" % rs_entries, "1 bit", inflight_bits),
+        ("RFP queue (%d entries)" % config.queue_entries, "vaddr + prfid", queue_bits),
+    ]
+    total_bits = pt_bits + pat_total + inflight_bits + queue_bits
+    return {
+        "rows": rows,
+        "pt_kilobytes": pt_bits / 8.0 / 1024.0,
+        "total_kilobytes": total_bits / 8.0 / 1024.0,
+        "pat_bits": pat_total,
+        "savings_vs_full_vaddr": 1.0
+        - pt_entry_bits(config, use_pat=True) / pt_entry_bits(config, use_pat=False),
+    }

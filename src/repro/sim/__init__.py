@@ -1,0 +1,26 @@
+"""Simulation drivers: single runs, cached experiment sweeps, oracles."""
+
+from repro.sim.runner import SimResult, simulate
+from repro.sim.cache import ResultCache, simulate_cached
+from repro.sim.oracle import oracle_config, ORACLE_MODES
+from repro.sim.experiments import (
+    run_suite,
+    suite_speedup,
+    default_workloads,
+    default_length,
+    default_warmup,
+)
+
+__all__ = [
+    "SimResult",
+    "simulate",
+    "ResultCache",
+    "simulate_cached",
+    "oracle_config",
+    "ORACLE_MODES",
+    "run_suite",
+    "suite_speedup",
+    "default_workloads",
+    "default_length",
+    "default_warmup",
+]

@@ -1,0 +1,88 @@
+"""Disk cache for simulation results.
+
+Twelve benchmark experiments share a common baseline over 65 workloads;
+re-simulating it per figure would dominate wall-clock.  Results are keyed
+by (workload, trace length, warmup, config fingerprint) and stored as JSON
+under ``REPRO_CACHE_DIR`` (default ``<repo>/benchmarks/.cache``).  Delete
+the directory to force clean re-runs.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+
+from repro.sim.runner import SimResult, simulate
+
+
+def config_fingerprint(config):
+    """Stable hash of every field of a CoreConfig (incl. nested rfp/vp)."""
+    payload = dataclasses.asdict(config)
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class ResultCache(object):
+    """JSON-file-per-result cache."""
+
+    def __init__(self, directory=None):
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+                os.path.dirname(os.path.dirname(os.path.dirname(
+                    os.path.dirname(os.path.abspath(__file__))))),
+                "benchmarks",
+                ".cache",
+            )
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key):
+        return os.path.join(self.directory, key + ".json")
+
+    def key(self, workload, config, length, warmup):
+        return "%s-%d-%d-%s" % (workload, length, warmup, config_fingerprint(config))
+
+    def get(self, key):
+        path = self._path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SimResult(data)
+
+    def put(self, key, result):
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(result.as_dict(), handle)
+        os.replace(tmp, path)
+
+
+_default_cache = None
+
+
+def default_cache():
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ResultCache()
+    return _default_cache
+
+
+def simulate_cached(workload, config, length=20000, warmup=4000, cache=None):
+    """Like :func:`repro.sim.runner.simulate` but memoised on disk."""
+    cache = cache or default_cache()
+    key = cache.key(workload, config, length, warmup)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    result = simulate(workload, config, length=length, warmup=warmup)
+    cache.put(key, result)
+    return result

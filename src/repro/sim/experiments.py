@@ -1,0 +1,71 @@
+"""Shared experiment plumbing for the benchmark harness.
+
+Environment knobs (all optional):
+
+- ``REPRO_WORKLOADS`` — "all" (default) or an integer N to run only the
+  first N suite workloads (quick mode).
+- ``REPRO_LENGTH`` — trace length in instructions (default 20000).
+- ``REPRO_WARMUP`` — warmup instructions excluded from measurement
+  (default 4000).
+"""
+
+import os
+
+from repro.sim.cache import simulate_cached
+from repro.stats.report import geomean, speedup
+from repro.workloads.suite import workload_names
+
+
+def default_workloads():
+    spec = os.environ.get("REPRO_WORKLOADS", "all")
+    names = workload_names()
+    if spec == "all":
+        return names
+    return names[: max(1, int(spec))]
+
+
+def default_length():
+    return int(os.environ.get("REPRO_LENGTH", "12000"))
+
+
+def default_warmup():
+    return int(os.environ.get("REPRO_WARMUP", "2000"))
+
+
+def run_suite(config, workloads=None, length=None, warmup=None):
+    """Run (cache-backed) every workload under ``config``.
+
+    Returns {workload_name: SimResult}.
+    """
+    workloads = workloads if workloads is not None else default_workloads()
+    length = length if length is not None else default_length()
+    warmup = warmup if warmup is not None else default_warmup()
+    return {
+        name: simulate_cached(name, config, length=length, warmup=warmup)
+        for name in workloads
+    }
+
+
+def suite_speedup(feature_results, baseline_results):
+    """Per-category and overall geomean speedups plus per-workload ratios.
+
+    Returns ``(per_workload, per_category, overall)``.
+    """
+    per_workload = {}
+    per_category_values = {}
+    for name, result in feature_results.items():
+        ratio = speedup(result.ipc, baseline_results[name].ipc)
+        per_workload[name] = ratio
+        per_category_values.setdefault(result.category, []).append(ratio)
+    per_category = {
+        category: geomean(values)
+        for category, values in sorted(per_category_values.items())
+    }
+    overall = geomean(list(per_workload.values()))
+    return per_workload, per_category, overall
+
+
+def mean_fraction(results, numerator_counter):
+    """Average an RFP counter as a fraction of loads across results."""
+    values = [r.rfp_fraction(numerator_counter) for r in results.values()]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,34 @@
+"""Oracle prefetching configurations (paper Fig. 1).
+
+"An oracle prefetching from level N to level N-1 will ensure all hits at
+level N will be served at the latency of level N-1."  Each mode overrides
+the serve latency of one hierarchy level accordingly; the register-file
+"latency" is one cycle (a load that is effectively a register read).
+"""
+
+RF_LATENCY = 1
+
+#: Mode name -> human description.
+ORACLE_MODES = {
+    "l1_to_rf": "L1 hits served at register-file latency",
+    "l2_to_l1": "L2 hits served at L1 latency",
+    "llc_to_l2": "LLC hits served at L2 latency",
+    "mem_to_llc": "DRAM accesses served at LLC latency",
+}
+
+
+def oracle_config(base_config, mode):
+    """Return a copy of ``base_config`` with one oracle override applied."""
+    if mode == "l1_to_rf":
+        overrides = {"L1": RF_LATENCY}
+    elif mode == "l2_to_l1":
+        overrides = {"L2": base_config.l1_latency}
+    elif mode == "llc_to_l2":
+        overrides = {"LLC": base_config.l2_latency}
+    elif mode == "mem_to_llc":
+        overrides = {"DRAM": base_config.llc_latency}
+    else:
+        raise ValueError("unknown oracle mode %r (see ORACLE_MODES)" % mode)
+    config = base_config.evolve(oracle_overrides=overrides)
+    config.name = "%s+oracle_%s" % (base_config.name, mode)
+    return config

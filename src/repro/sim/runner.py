@@ -1,0 +1,142 @@
+"""Single-simulation runner producing a serialisable :class:`SimResult`.
+
+Measurement protocol: the core runs the whole trace; counters are
+snapshotted when ``warmup`` instructions have committed, and the reported
+("measured") numbers are deltas over the post-warmup window — predictors
+and caches are warm, matching how architecture papers measure region IPC.
+"""
+
+from repro.core.config import baseline
+from repro.core.core import OOOCore
+from repro.workloads.suite import build_workload, workload_category
+
+
+class SimResult(object):
+    """Flat, JSON-friendly record of one simulation."""
+
+    def __init__(self, data):
+        self.data = data
+
+    @classmethod
+    def from_core(cls, core, workload_name, category):
+        final = core.snapshot_counters()
+        start = core.warmup_snapshot or {
+            "cycle": 0,
+            "stats": {k: 0 for k in final["stats"]},
+            "loads_served": {k: 0 for k in final["loads_served"]},
+            "rfp": {k: 0 for k in final.get("rfp", {})},
+        }
+        cycles = final["cycle"] - start["cycle"]
+        stats = {
+            key: final["stats"][key] - start["stats"].get(key, 0)
+            for key in final["stats"]
+        }
+        loads_served = {
+            key: final["loads_served"][key] - start["loads_served"].get(key, 0)
+            for key in final["loads_served"]
+        }
+        data = {
+            "workload": workload_name,
+            "category": category,
+            "config": core.config.name,
+            "cycles": cycles,
+            "instructions": stats["instructions"],
+            "ipc": stats["instructions"] / cycles if cycles else 0.0,
+            "stats": stats,
+            "loads_served": loads_served,
+            "total_cycles": final["cycle"],
+            "total_instructions": final["stats"]["instructions"],
+        }
+        if "rfp" in final:
+            rfp_start = start.get("rfp", {})
+            data["rfp"] = {
+                key: final["rfp"][key] - rfp_start.get(key, 0)
+                for key in final["rfp"]
+            }
+        if core.vp is not None:
+            data["vp"] = core.vp.stats_dict()
+        return cls(data)
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def ipc(self):
+        return self.data["ipc"]
+
+    @property
+    def workload(self):
+        return self.data["workload"]
+
+    @property
+    def category(self):
+        return self.data["category"]
+
+    @property
+    def stats(self):
+        return self.data["stats"]
+
+    @property
+    def rfp(self):
+        return self.data.get("rfp")
+
+    @property
+    def loads(self):
+        return self.data["stats"]["loads"]
+
+    def rfp_fraction(self, counter):
+        """An RFP counter as a fraction of committed loads."""
+        loads = self.loads or 1
+        return self.data.get("rfp", {}).get(counter, 0) / loads
+
+    @property
+    def coverage(self):
+        """Fraction of loads usefully prefetched (the paper's coverage)."""
+        return self.rfp_fraction("useful")
+
+    def load_distribution(self):
+        """Fractions of loads served per hierarchy level plus forwarding."""
+        served = dict(self.data["loads_served"])
+        served["FWD"] = self.stats.get("load_forwards", 0)
+        served["RFP"] = self.data.get("rfp", {}).get("useful", 0)
+        total = sum(served.values()) or 1
+        return {level: count / total for level, count in served.items()}
+
+    def as_dict(self):
+        return self.data
+
+    def __repr__(self):
+        return "<SimResult %s/%s ipc=%.3f>" % (
+            self.data["workload"],
+            self.data["config"],
+            self.ipc,
+        )
+
+
+def simulate(
+    workload,
+    config=None,
+    length=20000,
+    warmup=4000,
+    record_commits=False,
+    max_cycles=None,
+):
+    """Simulate ``workload`` (suite name or a Trace) under ``config``.
+
+    Returns a :class:`SimResult` measured over the post-warmup window.
+    """
+    config = config or baseline()
+    if isinstance(workload, str):
+        trace = build_workload(workload, length=length)
+        name = workload
+        category = workload_category(workload)
+    else:
+        trace = workload
+        name = trace.name
+        category = trace.category
+    core = OOOCore(trace, config, record_commits=record_commits)
+    core.warmup_instructions = min(warmup, max(0, len(trace) // 2))
+    core.run(max_cycles=max_cycles)
+    result = SimResult.from_core(core, name, category)
+    if record_commits:
+        result.data["committed"] = core.committed
+    return result

@@ -1,0 +1,11 @@
+"""Statistics: per-run counters and multi-run reporting helpers."""
+
+from repro.stats.counters import SimStats
+from repro.stats.report import (
+    format_table,
+    geomean,
+    speedup,
+    category_summary,
+)
+
+__all__ = ["SimStats", "format_table", "geomean", "speedup", "category_summary"]

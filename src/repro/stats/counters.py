@@ -1,0 +1,62 @@
+"""Per-simulation counters and the result record a run produces."""
+
+
+class SimStats(object):
+    """Everything one simulation run counts.
+
+    The core increments these inline; experiment harnesses read them via
+    :meth:`as_dict` / the convenience properties.
+    """
+
+    def __init__(self):
+        self.cycles = 0
+        self.instructions = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.branch_mispredicts = 0
+        self.load_forwards = 0
+        # Flush accounting.
+        self.md_flushes = 0
+        self.vp_flushes = 0
+        self.squashed_instructions = 0
+        # Scheduler behaviour.
+        self.issued = 0
+        self.replay_issues = 0
+        self.hit_miss_mispredicts = 0
+        # Load latency accounting (cycles from issue to data ready).
+        self.load_latency_sum = 0
+        self.load_latency_count = 0
+        # Loads that executed effectively in a single cycle thanks to RFP.
+        self.loads_single_cycle = 0
+        # Dispatch stalls by cause (diagnosis aid).
+        self.stall_rob = 0
+        self.stall_rs = 0
+        self.stall_lq = 0
+        self.stall_sq = 0
+        self.stall_prf = 0
+        # EPP retirement re-executions.
+        self.retire_reexecutions = 0
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_load_latency(self):
+        if not self.load_latency_count:
+            return 0.0
+        return self.load_latency_sum / self.load_latency_count
+
+    def as_dict(self):
+        data = dict(self.__dict__)
+        data["ipc"] = self.ipc
+        data["avg_load_latency"] = self.avg_load_latency
+        return data
+
+    def __repr__(self):
+        return "<SimStats ipc=%.3f cycles=%d instrs=%d>" % (
+            self.ipc,
+            self.cycles,
+            self.instructions,
+        )

@@ -1,0 +1,77 @@
+"""Reporting helpers: geometric means, speedups, ASCII tables.
+
+The paper reports geometric-mean IPC speedups over the baseline, per
+workload category and overall; these helpers reproduce that arithmetic and
+render the rows the benchmark harness prints.
+"""
+
+import math
+
+
+def geomean(values):
+    """Geometric mean of positive values; returns 0.0 for empty input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(new_ipc, base_ipc):
+    """Relative speedup of ``new_ipc`` over ``base_ipc`` (1.0 = parity)."""
+    if base_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return new_ipc / base_ipc
+
+
+def percent(ratio):
+    """Format a 1.031-style ratio as '+3.1%'."""
+    return "%+.2f%%" % ((ratio - 1.0) * 100.0)
+
+
+def category_summary(results_by_workload, baseline_by_workload, categories):
+    """Per-category and overall geomean speedups.
+
+    Args:
+        results_by_workload: {workload_name: ipc} for the feature config.
+        baseline_by_workload: {workload_name: ipc} for the baseline.
+        categories: {workload_name: category_name}.
+
+    Returns:
+        (per_category, overall) where per_category maps category ->
+        geomean speedup and overall is the all-workload geomean.
+    """
+    per_category_values = {}
+    all_values = []
+    for name, ipc in results_by_workload.items():
+        base = baseline_by_workload[name]
+        ratio = speedup(ipc, base)
+        all_values.append(ratio)
+        per_category_values.setdefault(categories[name], []).append(ratio)
+    per_category = {
+        category: geomean(values) for category, values in per_category_values.items()
+    }
+    return per_category, geomean(all_values)
+
+
+def format_table(headers, rows, title=None):
+    """Render an ASCII table; every benchmark prints through this."""
+    columns = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells):
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(columns))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)

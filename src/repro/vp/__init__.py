@@ -1,0 +1,50 @@
+"""Value and address predictors the paper compares against (§5.3–§5.4).
+
+- :class:`~repro.vp.eves.EVESPredictor` — EVES-style value predictor
+  (stride + context components, deep probabilistic confidence).
+- :class:`~repro.vp.dlvp.DLVPPredictor` — DLVP path-based *address*
+  predictor that probes the L1 at fetch; models the full coverage
+  waterfall of Fig. 16 (high-confidence -> no-FWD -> port -> probe-timely).
+- :class:`~repro.vp.composite.CompositePredictor` — the Composite VP
+  (EVES fused with DLVP).
+- :class:`~repro.vp.epp.EPPPredictor` — Efficient Pipeline Prefetch:
+  DLVP-like address prediction without a validation access, paid for with
+  SSBF false-positive re-executions at retirement.
+
+All predictors expose the same hook surface the core drives:
+``on_fetch``, ``on_load_dispatch``, ``on_load_commit``, ``on_load_squash``,
+``note_forwarded`` and ``validate``.
+"""
+
+from repro.vp.base import ConfidenceCounter, ValuePredictor
+from repro.vp.eves import EVESPredictor
+from repro.vp.dlvp import DLVPPredictor
+from repro.vp.composite import CompositePredictor
+from repro.vp.epp import EPPPredictor
+
+
+def build_predictor(config):
+    """Instantiate the predictor named by ``config.vp.kind`` (or None)."""
+    if not config.vp.enabled:
+        return None
+    kind = config.vp.kind
+    if kind == "eves":
+        return EVESPredictor(config)
+    if kind == "dlvp":
+        return DLVPPredictor(config)
+    if kind == "composite":
+        return CompositePredictor(config)
+    if kind == "epp":
+        return EPPPredictor(config)
+    raise ValueError("unknown value predictor kind: %r" % kind)
+
+
+__all__ = [
+    "ConfidenceCounter",
+    "ValuePredictor",
+    "EVESPredictor",
+    "DLVPPredictor",
+    "CompositePredictor",
+    "EPPPredictor",
+    "build_predictor",
+]

@@ -1,0 +1,54 @@
+"""EPP — Early Address Prediction / Efficient Pipeline Prefetch (Alves et
+al., TACO'21), the paper's §2.2 comparison point.
+
+EPP extends DLVP-style fetch-time address prediction with register-file
+reuse so that a correctly predicted load needs **no validation access**:
+memory-ordering safety is delegated to a Store Sequence Bloom Filter (SSBF)
+checked at retirement.  The SSBF has false positives, which force a
+fraction of loads to re-execute at retirement — the paper measures that
+this drags EPP (2.05%) slightly below standalone Composite VP (2.20%).
+
+We model the SSBF abstractly with a deterministic pseudo-random
+false-positive rate (config ``epp_ssbf_false_positive_rate``): a falsely
+flagged load stalls retirement for an L1 re-access.
+"""
+
+from repro.vp.dlvp import DLVPPredictor
+
+
+class EPPPredictor(DLVPPredictor):
+    """DLVP-style address prediction without validation accesses."""
+
+    name = "epp"
+
+    def __init__(self, config):
+        super(EPPPredictor, self).__init__(config)
+        self.fp_rate = config.vp.epp_ssbf_false_positive_rate
+        self.ssbf_false_positives = 0
+        self.validation_accesses_saved = 0
+
+    def wants_validation_access(self, dyn):
+        """A correctly predicted EPP load skips the demand L1 access."""
+        if dyn.vp_predicted:
+            self.validation_accesses_saved += 1
+            return False
+        return True
+
+    def retire_reexecute_penalty(self, dyn):
+        """SSBF false positive: re-execute the load at retirement.
+
+        Charged as an L1-latency stall at the commit stage (plus the
+        re-access is counted against statistics by the core).
+        """
+        if not dyn.vp_predicted:
+            return 0
+        if self.rng.random() < self.fp_rate:
+            self.ssbf_false_positives += 1
+            return self.config.l1_latency
+        return 0
+
+    def stats_dict(self):
+        stats = super(EPPPredictor, self).stats_dict()
+        stats["ssbf_false_positives"] = self.ssbf_false_positives
+        stats["validation_accesses_saved"] = self.validation_accesses_saved
+        return stats

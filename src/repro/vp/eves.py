@@ -1,0 +1,128 @@
+"""EVES-style value predictor (Seznec, CVP-1), paper's VP building block.
+
+Two components, as in EVES:
+
+- **eStride**: per-PC last committed value + stride, with an inflight
+  counter so back-to-back dynamic instances predict
+  ``last + stride * inflight`` (same trick the RFP Prefetch Table uses for
+  addresses).
+- **eVTAGE-lite**: a context component indexed by PC hashed with recent
+  branch history, capturing context-stable (often constant) values.
+
+Both components carry deep probabilistic confidence; a prediction is made
+only at full saturation, which is exactly why VP coverage is low (paper:
+flush cost forces high accuracy) while RFP can afford 1-bit confidence.
+"""
+
+from repro.vp.base import ConfidenceCounter, ValuePredictor
+
+MASK64 = (1 << 64) - 1
+
+
+class _StrideEntry(object):
+    __slots__ = ("last_value", "stride", "confidence", "inflight", "valid")
+
+    def __init__(self, confidence):
+        self.last_value = 0
+        self.stride = 0
+        self.confidence = confidence
+        self.inflight = 0
+        self.valid = False
+
+
+class _ContextEntry(object):
+    __slots__ = ("value", "confidence")
+
+    def __init__(self, value, confidence):
+        self.value = value
+        self.confidence = confidence
+
+
+class EVESPredictor(ValuePredictor):
+    """EVES = eStride + eVTAGE-lite with saturation-gated predictions."""
+
+    name = "eves"
+
+    def __init__(self, config):
+        super(EVESPredictor, self).__init__(config)
+        self.entries = config.vp.table_entries
+        self.stride_table = {}
+        self.context_table = {}
+        self.stride_predictions = 0
+        self.context_predictions = 0
+
+    def _new_confidence(self):
+        return ConfidenceCounter(
+            self.vp_config.confidence_max,
+            self.vp_config.confidence_increment_prob,
+            self.rng,
+        )
+
+    def _stride_entry(self, pc, create=False):
+        index = (pc >> 2) % self.entries
+        entry = self.stride_table.get(index)
+        if entry is None and create:
+            entry = _StrideEntry(self._new_confidence())
+            self.stride_table[index] = entry
+        return entry
+
+    def _context_index(self, pc, path):
+        return ((pc >> 2) ^ ((path & 0xFFFF) * 0x9E3779B1)) % self.entries
+
+    # ------------------------------------------------------------------
+
+    def on_load_dispatch(self, dyn, cycle, path):
+        entry = self._stride_entry(dyn.pc, create=True)
+        entry.inflight += 1
+        if self.is_blacklisted(dyn.pc):
+            return False, 0
+        if entry.valid and entry.confidence.saturated:
+            self.stride_predictions += 1
+            predicted = (entry.last_value + entry.stride * entry.inflight) & MASK64
+            return True, predicted
+        context = self.context_table.get(self._context_index(dyn.pc, path))
+        if context is not None and context.confidence.saturated:
+            self.context_predictions += 1
+            return True, context.value
+        return False, 0
+
+    def on_load_commit(self, dyn, path):
+        self.decay_blacklist(dyn.pc)
+        value = dyn.value
+        entry = self._stride_entry(dyn.pc, create=True)
+        if entry.inflight > 0:
+            entry.inflight -= 1
+        if entry.valid:
+            stride = (value - entry.last_value) & MASK64
+            # Interpret as a signed 64-bit stride for stability checks.
+            if stride >= 1 << 63:
+                stride -= 1 << 64
+            if stride == entry.stride:
+                entry.confidence.strengthen()
+            else:
+                entry.stride = stride
+                entry.confidence.reset()
+        else:
+            entry.valid = True
+        entry.last_value = value
+
+        index = self._context_index(dyn.pc, path)
+        context = self.context_table.get(index)
+        if context is None:
+            self.context_table[index] = _ContextEntry(value, self._new_confidence())
+        elif context.value == value:
+            context.confidence.strengthen()
+        else:
+            context.value = value
+            context.confidence.reset()
+
+    def on_load_squash(self, dyn):
+        entry = self._stride_entry(dyn.pc)
+        if entry is not None and entry.inflight > 0:
+            entry.inflight -= 1
+
+    def stats_dict(self):
+        stats = super(EVESPredictor, self).stats_dict()
+        stats["stride_predictions"] = self.stride_predictions
+        stats["context_predictions"] = self.context_predictions
+        return stats

@@ -1,0 +1,141 @@
+"""Memory hierarchy composition: level latencies, MSHR merges, oracles."""
+
+import pytest
+
+from repro.core.config import baseline
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.oracle import ORACLE_MODES, oracle_config
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(baseline(l2_prefetcher_enabled=False))
+
+
+class TestLoadPath:
+    def test_cold_load_goes_to_dram(self, hierarchy):
+        # First access to a page also walks the DTLB.
+        result = hierarchy.load(0x10000, 0x400, 0)
+        walk = hierarchy.dtlb.walk_latency
+        assert result.level == "DRAM"
+        assert result.complete == walk + hierarchy.dram.latency
+
+    def test_second_load_hits_l1(self, hierarchy):
+        hierarchy.load(0x10000, 0x400, 0)
+        result = hierarchy.load(0x10000, 0x400, 1000)
+        assert result.level == "L1"
+        assert result.complete == 1000 + hierarchy.latency["L1"]
+
+    def test_same_line_different_word_hits(self, hierarchy):
+        hierarchy.load(0x10000, 0x400, 0)
+        result = hierarchy.load(0x10008, 0x400, 1000)
+        assert result.level == "L1"
+
+    def test_mshr_merge_while_inflight(self, hierarchy):
+        first = hierarchy.load(0x10000, 0x400, 0)
+        merged = hierarchy.load(0x10000, 0x400, 5)
+        assert merged.level == "MSHR"
+        assert merged.complete == first.complete
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = baseline(l2_prefetcher_enabled=False)
+        hierarchy = MemoryHierarchy(config)
+        # Fill one L1 set past its associativity: same set, different tags.
+        l1 = hierarchy.l1
+        stride = l1.num_sets * l1.line_bytes
+        base = 0x100000
+        for k in range(l1.assoc + 1):
+            hierarchy.load(base + k * stride, 0x400, 10_000 * k)
+        # The first line was evicted from L1 but still sits in L2.
+        result = hierarchy.load(base, 0x400, 10_000_000)
+        assert result.level == "L2"
+
+    def test_distribution_counts(self, hierarchy):
+        hierarchy.load(0x10000, 0x400, 0)
+        hierarchy.load(0x10000, 0x400, 1000)
+        dist = hierarchy.load_distribution()
+        assert dist["L1"] == 0.5 and dist["DRAM"] == 0.5
+
+    def test_count_distribution_off(self, hierarchy):
+        hierarchy.load(0x10000, 0x400, 0, count_distribution=False)
+        assert sum(hierarchy.loads_served.values()) == 0
+
+    def test_probe_level_no_state_change(self, hierarchy):
+        assert hierarchy.probe_level(0x10000) == "DRAM"
+        hierarchy.load(0x10000, 0x400, 0)
+        hits_before = hierarchy.l1.stats.hits
+        assert hierarchy.probe_level(0x10000) == "L1"
+        assert hierarchy.l1.stats.hits == hits_before
+
+
+class TestStores:
+    def test_store_hit_fast(self, hierarchy):
+        hierarchy.load(0x10000, 0x400, 0)
+        release = hierarchy.store_commit(0x10000, 1000)
+        assert release == 1001
+
+    def test_store_miss_allocates(self, hierarchy):
+        release = hierarchy.store_commit(0x20000, 0)
+        assert release > hierarchy.latency["L1"]
+        assert hierarchy.probe_level(0x20000) == "L1"
+
+    def test_store_marks_dirty(self, hierarchy):
+        hierarchy.load(0x10000, 0x400, 0)
+        hierarchy.store_commit(0x10000, 10)
+        line = hierarchy.line_of(0x10000)
+        assert hierarchy.l1.sets[line & hierarchy.l1.set_mask][line] is True
+
+
+class TestOracles:
+    def test_all_modes_build(self):
+        for mode in ORACLE_MODES:
+            config = oracle_config(baseline(), mode)
+            assert MemoryHierarchy(config)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            oracle_config(baseline(), "bogus")
+
+    def test_l1_to_rf_serves_hits_at_one_cycle(self):
+        config = oracle_config(baseline(l2_prefetcher_enabled=False), "l1_to_rf")
+        hierarchy = MemoryHierarchy(config)
+        hierarchy.load(0x10000, 0x400, 0)
+        result = hierarchy.load(0x10000, 0x400, 1000)
+        assert result.level == "L1"
+        assert result.complete == 1001
+
+    def test_mem_to_llc_serves_dram_at_llc_latency(self):
+        base = baseline(l2_prefetcher_enabled=False)
+        config = oracle_config(base, "mem_to_llc")
+        hierarchy = MemoryHierarchy(config)
+        result = hierarchy.load(0x10000, 0x400, 0)
+        walk = hierarchy.dtlb.walk_latency
+        assert result.level == "DRAM"
+        assert result.complete == walk + base.llc_latency
+
+    def test_l2_to_l1_override(self):
+        base = baseline(l2_prefetcher_enabled=False)
+        hierarchy = MemoryHierarchy(oracle_config(base, "l2_to_l1"))
+        l1 = hierarchy.l1
+        stride = l1.num_sets * l1.line_bytes
+        addr = 0x100000
+        for k in range(l1.assoc + 1):
+            hierarchy.load(addr + k * stride, 0x400, 10_000 * k)
+        result = hierarchy.load(addr, 0x400, 10_000_000)
+        assert result.level == "L2"
+        assert result.complete == 10_000_000 + base.l1_latency
+
+    def test_oracle_names_descriptions(self):
+        for mode, description in ORACLE_MODES.items():
+            assert isinstance(description, str) and description
+
+
+class TestL2PrefetcherIntegration:
+    def test_streamer_fills_ahead(self):
+        hierarchy = MemoryHierarchy(baseline())
+        base = 0x40000
+        for k in range(6):
+            hierarchy.load(base + 64 * k, 0x400, 1000 * k)
+        # Lines ahead of the stream should now be in L2.
+        ahead = base + 64 * 8
+        assert hierarchy.probe_level(ahead) in ("L2", "L1")

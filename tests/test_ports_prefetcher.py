@@ -1,0 +1,130 @@
+"""L1 port arbitration and the L2 page streamer."""
+
+from repro.memory.ports import LoadPortArbiter
+from repro.memory.prefetcher import L2StridePrefetcher
+
+
+class TestLoadPortArbiter:
+    def test_demand_limit(self):
+        ports = LoadPortArbiter(num_ports=2)
+        ports.begin_cycle(0)
+        assert ports.claim_demand()
+        assert ports.claim_demand()
+        assert not ports.claim_demand()
+        assert ports.demand_denies == 1
+
+    def test_rfp_uses_leftovers(self):
+        ports = LoadPortArbiter(num_ports=2)
+        ports.begin_cycle(0)
+        ports.claim_demand()
+        assert ports.claim_rfp()     # one demand port left
+        assert not ports.claim_rfp() # now exhausted
+
+    def test_rfp_cannot_displace_demand(self):
+        ports = LoadPortArbiter(num_ports=1)
+        ports.begin_cycle(0)
+        assert ports.claim_rfp()
+        # In this model order demand claims happen first within a cycle;
+        # RFP leftovers are what is left after demand ran.
+        assert not ports.claim_rfp()
+
+    def test_begin_cycle_resets(self):
+        ports = LoadPortArbiter(num_ports=1)
+        ports.begin_cycle(0)
+        ports.claim_demand()
+        ports.begin_cycle(1)
+        assert ports.claim_demand()
+
+    def test_dedicated_rfp_ports(self):
+        ports = LoadPortArbiter(num_ports=2, rfp_dedicated_ports=2,
+                                rfp_shares_demand_ports=False)
+        ports.begin_cycle(0)
+        ports.claim_demand()
+        ports.claim_demand()
+        assert ports.claim_rfp()
+        assert ports.claim_rfp()
+        assert not ports.claim_rfp()  # no sharing
+
+    def test_dedicated_first_then_shared(self):
+        ports = LoadPortArbiter(num_ports=2, rfp_dedicated_ports=1)
+        ports.begin_cycle(0)
+        assert ports.claim_rfp()  # dedicated
+        assert ports.claim_rfp()  # shared leftover
+        assert ports.claim_rfp()  # second shared leftover
+        assert not ports.claim_rfp()
+
+    def test_free_demand_ports(self):
+        ports = LoadPortArbiter(num_ports=2)
+        ports.begin_cycle(0)
+        assert ports.free_demand_ports() == 2
+        ports.claim_demand()
+        assert ports.free_demand_ports() == 1
+
+    def test_utilization_dict(self):
+        ports = LoadPortArbiter(num_ports=1)
+        ports.begin_cycle(0)
+        ports.claim_demand()
+        ports.claim_rfp()
+        util = ports.utilization()
+        assert util["demand_grants"] == 1
+        assert util["rfp_denies"] == 1
+
+
+class TestL2Streamer:
+    def test_first_touch_no_prefetch(self):
+        pf = L2StridePrefetcher(degree=2, threshold=2)
+        assert pf.train(0x10, 100) == []
+
+    def test_ascending_stream_prefetches_forward(self):
+        pf = L2StridePrefetcher(degree=2, threshold=2)
+        out = []
+        for line in range(100, 110):
+            out = pf.train(0x10, line)
+        assert out == [110, 111]
+
+    def test_descending_stream_prefetches_backward(self):
+        pf = L2StridePrefetcher(degree=2, threshold=2)
+        out = []
+        for line in range(250, 240, -1):  # stays within one 64-line page
+            out = pf.train(0x10, line)
+        assert out == [240, 239]
+
+    def test_outlier_does_not_kill_stream(self):
+        pf = L2StridePrefetcher(degree=2, threshold=2)
+        for line in range(100, 106):
+            pf.train(0x10, line)
+        pf.train(0x10, 100)          # backwards outlier in the same page
+        out = pf.train(0x10, 106)
+        assert out, "one outlier must not reset an established stream"
+
+    def test_two_interleaved_fronts_same_page(self):
+        """RFP + demand fronts interleave; the page streamer must survive."""
+        pf = L2StridePrefetcher(degree=2, threshold=2)
+        front_a = iter(range(100, 130))
+        front_b = iter(range(104, 134))
+        fired = 0
+        for _ in range(20):
+            if pf.train(0x10, next(front_a)):
+                fired += 1
+            if pf.train(0x20, next(front_b)):
+                fired += 1
+        assert fired > 10
+
+    def test_table_capacity_lru(self):
+        pf = L2StridePrefetcher(num_entries=2)
+        pf.train(0x10, 0 << 6)
+        pf.train(0x10, 1 << 6)
+        pf.train(0x10, 2 << 6)  # three distinct pages -> evicts the first
+        assert len(pf.pages) == 2
+
+    def test_no_negative_prefetch_lines(self):
+        pf = L2StridePrefetcher(degree=4, threshold=2)
+        for line in range(10, 0, -1):
+            out = pf.train(0x10, line)
+        assert all(p >= 0 for p in out)
+
+    def test_issued_counter(self):
+        pf = L2StridePrefetcher(degree=3, threshold=1)
+        for line in range(100, 105):
+            pf.train(0x10, line)
+        assert pf.issued > 0

@@ -1,0 +1,165 @@
+"""Register renaming (RAT/free list/PRF) and reorder buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dyninstr import DynInstr
+from repro.core.rename import INFINITY, PhysicalRegisterFile, RenameUnit
+from repro.core.rob import ReorderBuffer
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def make_rename(arch=8, prf_size=32):
+    prf = PhysicalRegisterFile(prf_size)
+    return RenameUnit(arch, prf), prf
+
+
+class TestPRF:
+    def test_pending_not_ready(self):
+        prf = PhysicalRegisterFile(8)
+        prf.mark_pending(3)
+        assert not prf.is_ready(3, 10_000)
+        assert prf.ready_cycle[3] == INFINITY
+
+    def test_write_sets_value_and_time(self):
+        prf = PhysicalRegisterFile(8)
+        prf.write(2, 99, 7)
+        assert prf.read(2) == 99
+        assert not prf.is_ready(2, 6)
+        assert prf.is_ready(2, 7)
+
+
+class TestRename:
+    def test_initial_identity_mapping(self):
+        rename, _ = make_rename()
+        for r in range(8):
+            assert rename.lookup(r) == r
+
+    def test_allocate_moves_mapping(self):
+        rename, _ = make_rename()
+        new, prev = rename.allocate_dest(3)
+        assert prev == 3
+        assert rename.lookup(3) == new
+        assert new >= 8
+
+    def test_rename_sources(self):
+        rename, _ = make_rename()
+        new, _ = rename.allocate_dest(1)
+        assert rename.rename_sources((0, 1)) == (0, new)
+
+    def test_free_count_decreases(self):
+        rename, _ = make_rename()
+        before = rename.free_count
+        rename.allocate_dest(0)
+        assert rename.free_count == before - 1
+
+    def test_commit_free_recycles(self):
+        rename, _ = make_rename()
+        _, prev = rename.allocate_dest(0)
+        before = rename.free_count
+        rename.commit_free(prev)
+        assert rename.free_count == before + 1
+
+    def test_unmap_restores(self):
+        rename, _ = make_rename()
+        new, prev = rename.allocate_dest(5)
+        rename.unmap(5, new, prev)
+        assert rename.lookup(5) == prev
+
+    def test_unmap_order_violation_raises(self):
+        rename, _ = make_rename()
+        n1, p1 = rename.allocate_dest(5)
+        n2, p2 = rename.allocate_dest(5)
+        with pytest.raises(RuntimeError):
+            rename.unmap(5, n1, p1)  # must unmap n2 first
+
+    def test_prf_too_small(self):
+        with pytest.raises(ValueError):
+            RenameUnit(32, PhysicalRegisterFile(32))
+
+    def test_architectural_values(self):
+        rename, prf = make_rename()
+        new, _ = rename.allocate_dest(2)
+        prf.write(new, 777, 0)
+        assert rename.architectural_values()[2] == 777
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["alloc", "commit", "squash"]),
+                          st.integers(0, 7)), max_size=60))
+def test_rename_free_list_integrity(ops):
+    """Random alloc/commit/squash sequences never leak or duplicate pregs."""
+    rename, _ = make_rename()
+    live = []       # (arch, new, prev) renames not yet committed/squashed
+    for action, arch in ops:
+        if action == "alloc":
+            if rename.free_count == 0:
+                continue
+            new, prev = rename.allocate_dest(arch)
+            live.append((arch, new, prev))
+        elif action == "commit" and live:
+            _, _, prev = live.pop(0)  # commit oldest
+            rename.commit_free(prev)
+        elif action == "squash" and live:
+            a, new, prev = live.pop()  # squash youngest
+            rename.unmap(a, new, prev)
+    # Every preg is accounted for exactly once: currently mapped in the RAT,
+    # on the free list, or held as a previous mapping awaiting commit.
+    mapped = set(rename.rat)
+    free = set(rename.free_list)
+    pending_prev = [prev for _, _, prev in live]
+    assert len(mapped) == 8, "RAT mappings must stay unique"
+    assert len(free) == len(rename.free_list), "free list must hold no dupes"
+    assert len(set(pending_prev)) == len(pending_prev)
+    assert mapped.isdisjoint(free)
+    assert mapped.isdisjoint(pending_prev)
+    assert free.isdisjoint(pending_prev)
+    assert len(mapped) + len(free) + len(pending_prev) == rename.prf.num_entries
+
+
+class TestROB:
+    def _dyn(self, seq):
+        return DynInstr(Instruction(0x10, Op.ADD, dst=1), seq, 0)
+
+    def test_fifo_retire(self):
+        rob = ReorderBuffer(4)
+        a, b = self._dyn(0), self._dyn(1)
+        rob.allocate(a)
+        rob.allocate(b)
+        assert rob.head() is a
+        assert rob.retire_head() is a
+        assert rob.head() is b
+
+    def test_full(self):
+        rob = ReorderBuffer(1)
+        rob.allocate(self._dyn(0))
+        assert rob.full
+        with pytest.raises(RuntimeError):
+            rob.allocate(self._dyn(1))
+
+    def test_squash_exclusive(self):
+        rob = ReorderBuffer(8)
+        dyns = [self._dyn(i) for i in range(5)]
+        for d in dyns:
+            rob.allocate(d)
+        squashed = rob.squash_younger_than(2)
+        assert [d.seq for d in squashed] == [4, 3]
+        assert len(rob) == 3
+
+    def test_squash_inclusive(self):
+        rob = ReorderBuffer(8)
+        for i in range(5):
+            rob.allocate(self._dyn(i))
+        squashed = rob.squash_younger_than(2, inclusive=True)
+        assert [d.seq for d in squashed] == [4, 3, 2]
+
+    def test_find(self):
+        rob = ReorderBuffer(8)
+        d = self._dyn(3)
+        rob.allocate(d)
+        assert rob.find(3) is d
+        assert rob.find(99) is None
+
+    def test_empty_head(self):
+        assert ReorderBuffer(4).head() is None
