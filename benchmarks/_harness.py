@@ -7,8 +7,12 @@ writes them to ``benchmarks/results/<name>.txt``, and asserts the *shape*
 of the result (who wins, roughly by how much) — not absolute numbers,
 since the substrate is this repo's simulator, not Intel's.
 
-Environment knobs: ``REPRO_WORKLOADS`` (int or "all"), ``REPRO_LENGTH``,
-``REPRO_WARMUP`` — see :mod:`repro.sim.experiments`.
+Suite runs fan uncached (workload, config) pairs out over the
+:mod:`repro.sim.parallel` worker pool, so a cold-cache figure regeneration
+scales with the core count.  Environment knobs: ``REPRO_WORKLOADS`` (int or
+"all"), ``REPRO_LENGTH``, ``REPRO_WARMUP``, ``REPRO_JOBS`` (workers; 1 =
+serial), ``REPRO_PROGRESS`` (stream per-job lines to stderr) — see
+:mod:`repro.sim.experiments`.
 """
 
 import os
@@ -22,6 +26,7 @@ from repro.sim.experiments import (
     run_suite,
     suite_speedup,
 )
+from repro.sim.parallel import run_matrix
 from repro.stats.report import format_table, geomean
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -34,8 +39,23 @@ def rfp_baseline(**extra):
 
 
 def suite(config):
-    """Cached run of the whole suite under ``config``."""
+    """Cached (and parallel, see module docstring) run of the whole suite
+    under ``config``."""
     return run_suite(config)
+
+
+def suite_matrix(*configs):
+    """Run several configs through one shared worker pool.
+
+    Prefer this over consecutive :func:`suite` calls in figures that sweep
+    configurations: a single (config x workload) job matrix keeps every
+    worker busy across config boundaries.  Returns one ``{workload:
+    SimResult}`` dict per config, in argument order.
+    """
+    results, _ = run_matrix(
+        list(configs), default_workloads(), default_length(), default_warmup()
+    )
+    return results
 
 
 def emit(name, text):

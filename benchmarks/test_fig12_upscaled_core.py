@@ -4,16 +4,14 @@ Paper: the 10-wide, resource-doubled core gains 5.7% (vs 3.1% on the
 baseline) with coverage rising to 53.7% thanks to the extra L1 bandwidth.
 """
 
-from _harness import RFP_ON, emit, pct, rfp_baseline, speedup_block, suite
+from _harness import RFP_ON, emit, pct, rfp_baseline, speedup_block, suite_matrix
 from repro.core.config import baseline, baseline_2x
 from repro.sim.experiments import mean_fraction, suite_speedup
 
 
 def _run():
-    base_1x = suite(baseline())
-    rfp_1x = suite(rfp_baseline())
-    base_2x = suite(baseline_2x())
-    rfp_2x = suite(baseline_2x(**RFP_ON))
+    base_1x, rfp_1x, base_2x, rfp_2x = suite_matrix(
+        baseline(), rfp_baseline(), baseline_2x(), baseline_2x(**RFP_ON))
     _, _, overall_1x = suite_speedup(rfp_1x, base_1x)
     _, _, overall_2x = suite_speedup(rfp_2x, base_2x)
     return (overall_1x, mean_fraction(rfp_1x, "useful"),

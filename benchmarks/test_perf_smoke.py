@@ -1,0 +1,111 @@
+"""Engine performance smoke test.
+
+Measures the single-process fast path (simulated instructions per second
+over pre-built traces, so trace generation is excluded) plus one parallel
+engine pass, and records both into ``BENCH_engine.json`` at the repo root.
+
+The absolute figure is machine-dependent; ``REFERENCE_INSTR_PER_SECOND``
+pins what the pre-fast-path loop achieved on the machine this PR was
+developed on, so the recorded ``gain_vs_reference`` is only meaningful
+there.  The assertion is a deliberately loose floor — enough to catch an
+accidental 10x regression (e.g. a per-cycle O(n) scan creeping back into
+the scheduler) without flaking on slow CI runners.
+
+Honours the quick-mode knobs (``REPRO_WORKLOADS``, ``REPRO_LENGTH``,
+``REPRO_WARMUP``) like every other benchmark.
+"""
+
+import json
+import os
+import time
+
+from repro.core.config import baseline
+from repro.sim.experiments import (
+    default_length,
+    default_warmup,
+    default_workloads,
+)
+from repro.sim.parallel import default_jobs, run_jobs, start_method
+from repro.sim.runner import simulate
+from repro.workloads.suite import build_workload
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_engine.json",
+)
+
+#: Serial instr/s of the pre-fast-path cycle loop, best-of-3 on the
+#: development machine (spec06_gcc, length 12000, warmup 2000).
+REFERENCE_INSTR_PER_SECOND = 27576.0
+
+#: Loose floor: ~5x below the slowest figure the old loop managed on the
+#: development machine.  Catches order-of-magnitude regressions only.
+FLOOR_INSTR_PER_SECOND = 5000.0
+
+
+def _measure_serial(workloads, length, warmup, rounds=3):
+    """Best-of-N serial instr/s over pre-built traces."""
+    config = baseline()
+    traces = [build_workload(name, length=length) for name in workloads]
+    best = 0.0
+    for _ in range(rounds):
+        instructions = 0
+        started = time.perf_counter()
+        for trace in traces:
+            result = simulate(trace, config, length=length, warmup=warmup)
+            instructions += result.data["total_instructions"]
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, instructions / elapsed)
+    return best
+
+
+def _measure_engine(workloads, length, warmup):
+    """One parallel-engine pass (cold private cache) for the report."""
+    import tempfile
+
+    from repro.sim.cache import ResultCache
+
+    config = baseline()
+    with tempfile.TemporaryDirectory() as tmp:
+        jobs = [(name, config, length, warmup) for name in workloads]
+        _, report = run_jobs(jobs, cache=ResultCache(tmp))
+    return report
+
+
+def test_perf_smoke(benchmark):
+    workloads = default_workloads()[:4]
+    length = default_length()
+    warmup = default_warmup()
+
+    serial_ips = benchmark.pedantic(
+        _measure_serial, args=(workloads, length, warmup),
+        rounds=1, iterations=1)
+    engine_report = _measure_engine(workloads, length, warmup)
+
+    record = {
+        "serial": {
+            "instructions_per_second": round(serial_ips, 1),
+            "workloads": workloads,
+            "length": length,
+            "warmup": warmup,
+            "reference_instructions_per_second": REFERENCE_INSTR_PER_SECOND,
+            "gain_vs_reference": round(
+                serial_ips / REFERENCE_INSTR_PER_SECOND - 1, 4),
+        },
+        "parallel": dict(engine_report.as_dict(),
+                         start_method=start_method(),
+                         default_jobs=default_jobs()),
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print("\nserial fast path : %.0f instr/s (reference %.0f, %+.1f%%)"
+          % (serial_ips, REFERENCE_INSTR_PER_SECOND,
+             100 * record["serial"]["gain_vs_reference"]))
+    print("parallel engine  : %s" % engine_report.format())
+
+    assert serial_ips > FLOOR_INSTR_PER_SECOND
+    assert engine_report.jobs_simulated == len(workloads)
+    assert engine_report.instructions_simulated == length * len(workloads)

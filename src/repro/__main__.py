@@ -6,6 +6,8 @@ Commands:
     workloads             list the 65-workload suite
     storage               print Table 1's storage arithmetic
     params                print Table 2's core parameters
+    cache-stats           report the on-disk result cache's size
+    cache-clear           delete every cached simulation result
 """
 
 import argparse
@@ -13,7 +15,10 @@ import sys
 
 from repro.core.config import RFPConfig, baseline, baseline_2x
 from repro.rfp.storage import storage_report
-from repro.sim.experiments import run_suite, suite_speedup
+from repro.sim.cache import default_cache
+from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
+from repro.sim.experiments import suite_speedup
+from repro.sim.parallel import run_matrix
 from repro.sim.runner import simulate
 from repro.stats.report import format_table
 from repro.workloads.suite import suite_table, workload_names
@@ -54,17 +59,38 @@ def cmd_run(args):
 
 def cmd_suite(args):
     config = _config_from_args(args)
-    names = workload_names()[: args.num] if args.num else None
+    names = workload_names()[: args.num] if args.num else workload_names()
+    base_config = baseline() if not args.core_2x else baseline_2x()
     print("Running %s workloads under %s..."
           % (args.num or "all", config.name))
-    base = run_suite(baseline() if not args.core_2x else baseline_2x(),
-                     workloads=names, length=args.length, warmup=args.warmup)
-    feature = run_suite(config, workloads=names, length=args.length,
-                        warmup=args.warmup)
+    # One pool over the full (config x workload) matrix: the baseline and
+    # feature runs share workers instead of draining sequentially.
+    (base, feature), report = run_matrix(
+        [base_config, config], names, args.length, args.warmup,
+        max_workers=args.jobs,
+    )
     _, per_cat, overall = suite_speedup(feature, base)
     rows = [(cat, "%+.2f%%" % ((v - 1) * 100)) for cat, v in per_cat.items()]
     rows.append(("ALL (geomean)", "%+.2f%%" % ((overall - 1) * 100)))
     print(format_table(["category", "speedup vs baseline"], rows))
+    print(report.format())
+    return 0
+
+
+def cmd_cache_stats(_args):
+    stats = default_cache().stats()
+    rows = [
+        ("directory", stats["directory"]),
+        ("entries", str(stats["entries"])),
+        ("size", "%.1f KB" % (stats["bytes"] / 1024.0)),
+    ]
+    print(format_table(["metric", "value"], rows, title="result cache"))
+    return 0
+
+
+def cmd_cache_clear(_args):
+    removed = default_cache().clear()
+    print("removed %d cached result%s" % (removed, "" if removed == 1 else "s"))
     return 0
 
 
@@ -98,9 +124,9 @@ def build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_sim_args(p):
-        p.add_argument("--length", type=int, default=12000,
+        p.add_argument("--length", type=int, default=DEFAULT_LENGTH,
                        help="trace length in instructions")
-        p.add_argument("--warmup", type=int, default=2000,
+        p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
                        help="instructions excluded from measurement")
         p.add_argument("--rfp", action="store_true", help="enable RFP")
         p.add_argument("--vp", choices=["eves", "dlvp", "composite", "epp"],
@@ -116,8 +142,19 @@ def build_parser():
     suite_parser = sub.add_parser("suite", help="run a suite slice")
     suite_parser.add_argument("-n", "--num", type=int, default=None,
                               help="only the first N workloads")
+    suite_parser.add_argument("-j", "--jobs", type=int, default=None,
+                              help="worker processes (default: REPRO_JOBS "
+                                   "or the CPU count)")
     add_sim_args(suite_parser)
     suite_parser.set_defaults(func=cmd_suite)
+
+    cache_stats_parser = sub.add_parser(
+        "cache-stats", help="report the result cache's on-disk size")
+    cache_stats_parser.set_defaults(func=cmd_cache_stats)
+
+    cache_clear_parser = sub.add_parser(
+        "cache-clear", help="delete every cached simulation result")
+    cache_clear_parser.set_defaults(func=cmd_cache_clear)
 
     wl_parser = sub.add_parser("workloads", help="list the suite")
     wl_parser.set_defaults(func=cmd_workloads)

@@ -90,13 +90,16 @@ class OOOCore(object):
     def run(self, max_cycles=None):
         """Simulate until the trace drains; returns self."""
         limit = max_cycles or (400 * max(1, len(self.trace)) + 100000)
-        while not (self.frontend.drained and len(self.rob) == 0):
+        frontend = self.frontend
+        rob_entries = self.rob.entries
+        step = self.step
+        while not (frontend.drained and not rob_entries):
             if self.cycle > limit:
                 raise RuntimeError(
                     "simulation exceeded %d cycles at trace index %d "
-                    "(likely deadlock)" % (limit, self.frontend.cursor.index)
+                    "(likely deadlock)" % (limit, frontend.cursor.index)
                 )
-            self.step()
+            step()
         self.stats.cycles = self.cycle
         return self
 
@@ -104,7 +107,8 @@ class OOOCore(object):
         """Advance the pipeline one cycle."""
         cycle = self.cycle
         self.ports.begin_cycle(cycle)
-        self._process_events(cycle)
+        if self.events:
+            self._process_events(cycle)
         self._commit(cycle)
         self.rs.select(cycle, self._try_issue)
         if self.rfp is not None:
@@ -114,7 +118,7 @@ class OOOCore(object):
             self.frontend.fetch(cycle, self._fetch_hook)
         else:
             self.frontend.fetch(cycle)
-        self.cycle += 1
+        self.cycle = cycle + 1
 
     def _fetch_hook(self, instr, cycle, path_history):
         self.vp.on_fetch(
@@ -148,8 +152,10 @@ class OOOCore(object):
         self.sq.drain(cycle)
         retired = 0
         stats = self.stats
-        while retired < self.config.retire_width:
-            head = self.rob.head()
+        rob_entries = self.rob.entries
+        retire_width = self.config.retire_width
+        while retired < retire_width:
+            head = rob_entries[0] if rob_entries else None
             if head is None or head.state != D.COMPLETED or head.complete_cycle > cycle:
                 break
             if (
@@ -165,7 +171,7 @@ class OOOCore(object):
                     stats.retire_reexecutions += 1
                     head.complete_cycle = cycle + penalty
                     break
-            self.rob.retire_head()
+            rob_entries.popleft()
             self._commit_one(head, cycle)
             retired += 1
         return retired
@@ -213,42 +219,48 @@ class OOOCore(object):
     def _dispatch(self, cycle):
         config = self.config
         stats = self.stats
+        frontend = self.frontend
+        rob = self.rob
+        rs = self.rs
+        rename = self.rename
         dispatched = 0
         while dispatched < config.rename_width:
-            instr = self.frontend.head_ready(cycle)
+            instr = frontend.head_ready(cycle)
             if instr is None:
                 break
-            if self.rob.full:
+            if rob.full:
                 stats.stall_rob += 1
                 break
-            if self.rs.full:
+            if rs.full:
                 stats.stall_rs += 1
                 break
-            if instr.is_load and self.lq.full:
+            is_load = instr.is_load
+            is_store = instr.is_store
+            if is_load and self.lq.full:
                 stats.stall_lq += 1
                 break
-            if instr.is_store and self.sq.full(cycle):
+            if is_store and self.sq.full(cycle):
                 stats.stall_sq += 1
                 break
-            if instr.dst is not None and self.rename.free_count == 0:
+            if instr.dst is not None and not rename.free_list:
                 stats.stall_prf += 1
                 break
-            self.frontend.pop()
+            frontend.pop()
             dyn = DynInstr(instr, self.next_seq, cycle)
             self.next_seq += 1
-            dyn.src_pregs = self.rename.rename_sources(instr.srcs)
+            dyn.src_pregs = rename.rename_sources(instr.srcs)
             if instr.dst is not None:
-                dyn.dest_preg, dyn.prev_preg = self.rename.allocate_dest(instr.dst)
-            self.rob.allocate(dyn)
-            self.rs.allocate(dyn)
-            if self.rfp is not None and (instr.is_load or instr.is_branch):
+                dyn.dest_preg, dyn.prev_preg = rename.allocate_dest(instr.dst)
+            rob.allocate(dyn)
+            rs.allocate(dyn)
+            if self.rfp is not None and (is_load or instr.is_branch):
                 # Criticality extension: remember load PCs feeding address
                 # computations or branch conditions.
                 for preg in dyn.src_pregs:
                     producer = self.preg_producer.get(preg)
                     if producer is not None and producer.is_load:
                         self.rfp.mark_critical(producer.pc)
-            if instr.is_load:
+            if is_load:
                 self.lq.allocate(dyn)
                 predicted = False
                 # Focused-VP-style gating: only value-predict loads expected
@@ -274,7 +286,7 @@ class OOOCore(object):
                     self.rfp.on_load_dispatch(
                         dyn, cycle, self.frontend.path_history, inject=not predicted
                     )
-            elif instr.is_store:
+            elif is_store:
                 self.sq.allocate(dyn)
             if dyn.dest_preg is not None:
                 self.preg_producer[dyn.dest_preg] = dyn
@@ -487,15 +499,11 @@ class OOOCore(object):
         """Numeric counter snapshot used for warmup-window measurement."""
         snap = {
             "cycle": self.cycle,
-            "stats": {
-                k: v
-                for k, v in self.stats.__dict__.items()
-                if isinstance(v, (int, float))
-            },
+            "stats": self.stats.counters(),
             "loads_served": dict(self.hierarchy.loads_served),
         }
         if self.rfp is not None:
-            snap["rfp"] = dict(self.rfp.stats.__dict__)
+            snap["rfp"] = self.rfp.stats.as_dict()
         return snap
 
     def __repr__(self):

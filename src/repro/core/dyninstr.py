@@ -5,7 +5,15 @@ with everything the pipeline tracks about its in-flight life: renamed
 registers, issue/complete times, RFP prefetch state, and value-prediction
 state.  Plain attributes with ``__slots__`` keep the per-instruction cost
 low — the simulator allocates one of these per dispatched instruction.
+
+Frequently read facts about the underlying static instruction (``is_load``,
+``pc``, ``word_addr``, ...) are snapshotted into plain slots at construction
+instead of being exposed as properties: the scheduler and LSQ read them
+millions of times per run, and a slot load is several times cheaper than a
+property call.
 """
+
+from repro.isa.opcodes import port_class
 
 # Instruction lifecycle states.
 SQUASHED = -1
@@ -20,6 +28,21 @@ RFP_INFLIGHT = 2   # packet won arbitration; RFP-inflight bit will set
 RFP_DROPPED = 3    # packet cancelled (load won the race / TLB miss / squash)
 RFP_USED = 4       # load consumed the prefetched data (useful)
 RFP_WRONG = 5      # prefetched address mismatched; load re-accessed the L1
+
+#: Opcode -> scheduler functional-unit class, with branches folded onto the
+#: ALU ports (they execute there).  Precomputed once so the per-dispatch
+#: cost is a single dict lookup.
+_FU_CLASS = {}
+
+
+def _fu_class_for(op):
+    fu = _FU_CLASS.get(op)
+    if fu is None:
+        fu = port_class(op)
+        if fu == "branch":
+            fu = "alu"
+        _FU_CLASS[op] = fu
+    return fu
 
 
 class DynInstr(object):
@@ -39,6 +62,14 @@ class DynInstr(object):
         "served_level",
         "forward_src_seq",
         "replays",
+        # static-instruction snapshot (set once at construction)
+        "is_load",
+        "is_store",
+        "is_branch",
+        "pc",
+        "addr",
+        "word_addr",
+        "fu_class",
         # RFP state
         "rfp_state",
         "rfp_addr",
@@ -68,6 +99,15 @@ class DynInstr(object):
         self.served_level = None
         self.forward_src_seq = None
         self.replays = 0
+        self.is_load = instr.is_load
+        self.is_store = instr.is_store
+        self.is_branch = instr.is_branch
+        self.pc = instr.pc
+        addr = instr.addr
+        self.addr = addr
+        #: 8-byte-aligned address used for store/load matching.
+        self.word_addr = addr & ~7 if addr is not None else None
+        self.fu_class = _fu_class_for(instr.op)
         self.rfp_state = RFP_NONE
         self.rfp_addr = None
         self.rfp_bit_set_cycle = -1
@@ -79,31 +119,6 @@ class DynInstr(object):
         self.vp_addr_predicted = None
         self.vp_probe_value = None
         self.md_waited = False
-
-    @property
-    def is_load(self):
-        return self.instr.is_load
-
-    @property
-    def is_store(self):
-        return self.instr.is_store
-
-    @property
-    def is_branch(self):
-        return self.instr.is_branch
-
-    @property
-    def addr(self):
-        return self.instr.addr
-
-    @property
-    def word_addr(self):
-        """8-byte-aligned address used for store/load matching."""
-        return self.instr.addr & ~7 if self.instr.addr is not None else None
-
-    @property
-    def pc(self):
-        return self.instr.pc
 
     def __repr__(self):
         return "<DynInstr seq=%d %r state=%d>" % (self.seq, self.instr, self.state)

@@ -26,6 +26,9 @@ class Frontend(object):
         self.config = config
         self.cursor = TraceCursor(trace)
         self.buffer = deque()
+        # Hoisted config scalars: fetch() runs every cycle.
+        self.fetch_width = config.fetch_width
+        self.frontend_latency = config.frontend_latency
         self.buffer_capacity = config.fetch_width * (config.frontend_latency + 2)
         self.stall_until = 0
         self.blocked_branch_index = None
@@ -47,15 +50,18 @@ class Frontend(object):
         if self.blocked_branch_index is not None or cycle < self.stall_until:
             return 0
         fetched = 0
-        ready_at = cycle + self.config.frontend_latency
-        while fetched < self.config.fetch_width:
-            if len(self.buffer) >= self.buffer_capacity:
+        ready_at = cycle + self.frontend_latency
+        buffer = self.buffer
+        capacity = self.buffer_capacity
+        cursor = self.cursor
+        while fetched < self.fetch_width:
+            if len(buffer) >= capacity:
                 break
-            instr = self.cursor.peek()
+            instr = cursor.peek()
             if instr is None:
                 break
-            self.cursor.next()
-            self.buffer.append((ready_at, instr))
+            cursor.next()
+            buffer.append((ready_at, instr))
             if on_fetch is not None:
                 on_fetch(instr, cycle, self.path_history)
             fetched += 1

@@ -12,10 +12,16 @@ or an RFP address mismatch), the dependents already woken must be cancelled
 and re-dispatched.  That consumes scheduler bandwidth, so each such
 dependent burns one future issue slot (paper §2.5: "this takes some
 additional scheduler bandwidth for re-dispatches").
+
+:meth:`ReservationStation.select` is the single hottest function in the
+simulator (it scans the window every cycle), so it trades a little
+readability for speed: the per-class FU budget is a precomputed dict copied
+per cycle, each entry's FU class is snapshotted on the DynInstr at
+dispatch, and issued/squashed entries are compacted out of the window in
+one pass at the end of the cycle instead of via per-entry ``list.remove``.
 """
 
 from repro.core import dyninstr as D
-from repro.isa.opcodes import port_class
 
 
 class ReservationStation(object):
@@ -28,17 +34,28 @@ class ReservationStation(object):
         self.replay_debt = 0
         self.issued_total = 0
         self.replay_issues_total = 0
+        # Hoisted per-cycle constants (config is immutable for a run).
+        self._budget_base = {
+            "alu": config.alu_units,
+            "mul": config.mul_units,
+            "fp": config.fp_units,
+            "load": config.load_ports + config.rfp_dedicated_ports,
+            "store": config.store_ports,
+        }
+        self._rs_entries = config.rs_entries
+        self._issue_width = config.issue_width
+        self._min_delay = config.sched_latency
 
     @property
     def full(self):
-        return len(self.entries) >= self.config.rs_entries
+        return len(self.entries) >= self._rs_entries
 
     @property
     def occupancy(self):
         return len(self.entries)
 
     def allocate(self, dyn):
-        if self.full:
+        if len(self.entries) >= self._rs_entries:
             raise RuntimeError("RS overflow")
         self.entries.append(dyn)
 
@@ -50,14 +67,7 @@ class ReservationStation(object):
             pass
 
     def _fu_budget(self):
-        config = self.config
-        return {
-            "alu": config.alu_units,
-            "mul": config.mul_units,
-            "fp": config.fp_units,
-            "load": config.load_ports + config.rfp_dedicated_ports,
-            "store": config.store_ports,
-        }
+        return dict(self._budget_base)
 
     def select(self, cycle, try_issue):
         """Issue up to ``issue_width`` ready instructions, oldest first.
@@ -68,27 +78,30 @@ class ReservationStation(object):
         dependence the instruction must wait out; the entry stays).
         """
         issued = 0
-        width = self.config.issue_width
+        width = self._issue_width
         while self.replay_debt > 0 and issued < width:
             self.replay_debt -= 1
             self.replay_issues_total += 1
             issued += 1
         if issued >= width or not self.entries:
             return issued
-        budget = self._fu_budget()
+        budget = dict(self._budget_base)
         ready_cycle = self.prf.ready_cycle
-        min_delay = self.config.sched_latency
+        earliest_dispatch = cycle - self._min_delay
+        left = None
+        DISPATCHED = D.DISPATCHED
+        # Iterate a snapshot: try_issue may squash younger entries (memory-
+        # ordering violation found at a store's execution), which mutates
+        # ``self.entries`` via discard().
         for dyn in list(self.entries):
             if issued >= width:
                 break
-            # An earlier issue this cycle may have flushed younger entries
-            # (memory-ordering violation detected at a store's execution).
-            if dyn.state != D.DISPATCHED:
+            if dyn.state != DISPATCHED:
                 continue
             # Even an instruction whose operands are ready at allocation must
             # traverse the wakeup/select/RF-read pipe (paper §3: "at least 3
             # cycles ... a modest run-ahead window" for the RFP packet).
-            if cycle < dyn.dispatch_cycle + min_delay:
+            if dyn.dispatch_cycle > earliest_dispatch:
                 continue
             ready = True
             for preg in dyn.src_pregs:
@@ -97,16 +110,21 @@ class ReservationStation(object):
                     break
             if not ready:
                 continue
-            fu_class = port_class(dyn.instr.op)
-            if fu_class == "branch":
-                fu_class = "alu"
+            fu_class = dyn.fu_class
             if budget[fu_class] <= 0:
                 continue
             if try_issue(dyn, cycle):
                 budget[fu_class] -= 1
                 issued += 1
                 self.issued_total += 1
-                self.discard(dyn)
+                if left is None:
+                    left = {id(dyn)}
+                else:
+                    left.add(id(dyn))
+        if left is not None:
+            # Compact every entry that left the window this cycle in one
+            # pass instead of one O(n) list.remove() per issue.
+            self.entries = [d for d in self.entries if id(d) not in left]
         return issued
 
     def charge_replays(self, dest_preg):

@@ -81,28 +81,34 @@ class TraceCursor(object):
 
     def __init__(self, trace):
         self.trace = trace
+        #: Cached instruction list + length: peek()/exhausted run every
+        #: cycle of the simulation's fetch stage.
+        self._instructions = trace.instructions
+        self._length = len(trace.instructions)
         self.index = 0
 
     @property
     def exhausted(self):
-        return self.index >= len(self.trace.instructions)
+        return self.index >= self._length
 
     def peek(self):
         """Return the next instruction without consuming it, or None."""
-        if self.exhausted:
+        index = self.index
+        if index >= self._length:
             return None
-        return self.trace.instructions[self.index]
+        return self._instructions[index]
 
     def next(self):
         """Consume and return the next instruction, or None when exhausted."""
-        if self.exhausted:
+        index = self.index
+        if index >= self._length:
             return None
-        instr = self.trace.instructions[self.index]
-        self.index += 1
+        instr = self._instructions[index]
+        self.index = index + 1
         return instr
 
     def rewind(self, index):
         """Reset the cursor so the next fetch returns instruction ``index``."""
-        if index < 0 or index > len(self.trace.instructions):
+        if index < 0 or index > self._length:
             raise ValueError("rewind index %d out of range" % index)
         self.index = index

@@ -31,28 +31,38 @@ from repro.rfp.pat import PageAddressTable
 from repro.rfp.prefetch_table import PrefetchTable
 
 
+#: Counter fields of :class:`RFPStats`, explicit so the class can use
+#: ``__slots__`` (these are bumped on the per-load hot path).
+RFP_STAT_FIELDS = (
+    "injected",            # packets created (72% of loads in paper)
+    "executed",            # packets that won arbitration (48%)
+    "useful",              # loads that consumed prefetched data (43.4%)
+    "wrong_addr",          # executed but address mismatched (~5%)
+    "md_stale",            # address right but a newer store intervened
+    "full_hide",           # prefetch done before load dispatch (34.2%)
+    "partial_hide",        # prefetch partially hid latency (9.2%)
+    "dropped_load_first",
+    "dropped_tlb",
+    "dropped_squash",
+    "dropped_queue_full",
+    "dropped_l1_miss",
+    "forwarded",           # prefetch served by store forwarding
+    "blocked_cycles",      # head-of-queue blocked on MD conflict
+    "race_lost",           # load issued in the grant->bit-set window
+)
+
+
 class RFPStats(object):
     """Counters behind Figs. 10–14 and the §5.2 timeliness analysis."""
 
+    __slots__ = RFP_STAT_FIELDS
+
     def __init__(self):
-        self.injected = 0          # packets created (72% of loads in paper)
-        self.executed = 0          # packets that won arbitration (48%)
-        self.useful = 0            # loads that consumed prefetched data (43.4%)
-        self.wrong_addr = 0        # executed but address mismatched (~5%)
-        self.md_stale = 0          # address right but a newer store intervened
-        self.full_hide = 0         # prefetch done before load dispatch (34.2%)
-        self.partial_hide = 0      # prefetch partially hid latency (9.2%)
-        self.dropped_load_first = 0
-        self.dropped_tlb = 0
-        self.dropped_squash = 0
-        self.dropped_queue_full = 0
-        self.dropped_l1_miss = 0
-        self.forwarded = 0         # prefetch served by store forwarding
-        self.blocked_cycles = 0    # head-of-queue blocked on MD conflict
-        self.race_lost = 0         # load issued in the grant->bit-set window
+        for name in RFP_STAT_FIELDS:
+            setattr(self, name, 0)
 
     def as_dict(self):
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in RFP_STAT_FIELDS}
 
     def coverage(self, total_loads):
         return self.useful / total_loads if total_loads else 0.0

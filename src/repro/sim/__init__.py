@@ -1,8 +1,16 @@
 """Simulation drivers: single runs, cached experiment sweeps, oracles."""
 
-from repro.sim.runner import SimResult, simulate
-from repro.sim.cache import ResultCache, simulate_cached
+from repro.sim.runner import SCHEMA_VERSION, SimResult, simulate
+from repro.sim.cache import ResultCache, default_cache, simulate_cached
+from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
 from repro.sim.oracle import oracle_config, ORACLE_MODES
+from repro.sim.parallel import (
+    TimingReport,
+    default_jobs,
+    run_jobs,
+    run_matrix,
+    run_suite_parallel,
+)
 from repro.sim.experiments import (
     run_suite,
     suite_speedup,
@@ -12,12 +20,21 @@ from repro.sim.experiments import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
     "SimResult",
     "simulate",
     "ResultCache",
+    "default_cache",
     "simulate_cached",
+    "DEFAULT_LENGTH",
+    "DEFAULT_WARMUP",
     "oracle_config",
     "ORACLE_MODES",
+    "TimingReport",
+    "default_jobs",
+    "run_jobs",
+    "run_matrix",
+    "run_suite_parallel",
     "run_suite",
     "suite_speedup",
     "default_workloads",

@@ -2,9 +2,19 @@
 
 Twelve benchmark experiments share a common baseline over 65 workloads;
 re-simulating it per figure would dominate wall-clock.  Results are keyed
-by (workload, trace length, warmup, config fingerprint) and stored as JSON
-under ``REPRO_CACHE_DIR`` (default ``<repo>/benchmarks/.cache``).  Delete
-the directory to force clean re-runs.
+by (workload, trace length, warmup, schema + config fingerprint) and stored
+as JSON under ``REPRO_CACHE_DIR`` (default ``<repo>/benchmarks/.cache``).
+
+Versioning: :data:`~repro.sim.runner.SCHEMA_VERSION` is mixed into every
+fingerprint, so results written by an older simulator (different
+``SimResult`` fields or core timing semantics) become cache *misses* rather
+than silently-wrong answers.  ``repro cache-clear`` removes entries;
+``repro cache-stats`` reports what is on disk.
+
+Concurrency: writes go through a per-process temporary file followed by an
+atomic ``os.replace``, and a corrupted or partially-written entry is
+treated as a miss and rewritten — safe when several parent processes fill
+the same directory.
 """
 
 import dataclasses
@@ -12,12 +22,17 @@ import hashlib
 import json
 import os
 
-from repro.sim.runner import SimResult, simulate
+from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
+from repro.sim.runner import SCHEMA_VERSION, SimResult, simulate
 
 
 def config_fingerprint(config):
-    """Stable hash of every field of a CoreConfig (incl. nested rfp/vp)."""
-    payload = dataclasses.asdict(config)
+    """Stable hash of the result schema version plus every field of a
+    CoreConfig (incl. nested rfp/vp)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "config": dataclasses.asdict(config),
+    }
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
@@ -52,6 +67,8 @@ class ResultCache(object):
             with open(path) as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
+            # Corrupted / partially-written entry: treat as a miss; the
+            # subsequent put() atomically replaces it.
             self.misses += 1
             return None
         self.hits += 1
@@ -60,10 +77,57 @@ class ResultCache(object):
     def put(self, key, result):
         os.makedirs(self.directory, exist_ok=True)
         path = self._path(key)
-        tmp = path + ".tmp"
+        # Per-process temp name so concurrent fillers never clobber each
+        # other's in-progress write; os.replace is atomic on POSIX.
+        tmp = "%s.%d.tmp" % (path, os.getpid())
         with open(tmp, "w") as handle:
             json.dump(result.as_dict(), handle)
         os.replace(tmp, path)
+
+    # -- maintenance (the CLI's cache-clear / cache-stats) ---------------
+
+    def entry_paths(self):
+        """Paths of all result files currently in the cache directory."""
+        if not os.path.isdir(self.directory):
+            return []
+        return sorted(
+            os.path.join(self.directory, name)
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        )
+
+    def stats(self):
+        """On-disk entry count/bytes plus this process's hit/miss counters."""
+        paths = self.entry_paths()
+        total_bytes = 0
+        for path in paths:
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "directory": self.directory,
+            "entries": len(paths),
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self):
+        """Delete every cached result (and stray temp files); returns the
+        number of entries removed."""
+        removed = 0
+        if not os.path.isdir(self.directory):
+            return removed
+        for name in os.listdir(self.directory):
+            if not (name.endswith(".json") or ".json." in name):
+                continue
+            try:
+                os.remove(os.path.join(self.directory, name))
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
 
 _default_cache = None
@@ -76,7 +140,8 @@ def default_cache():
     return _default_cache
 
 
-def simulate_cached(workload, config, length=20000, warmup=4000, cache=None):
+def simulate_cached(workload, config, length=DEFAULT_LENGTH,
+                    warmup=DEFAULT_WARMUP, cache=None):
     """Like :func:`repro.sim.runner.simulate` but memoised on disk."""
     cache = cache or default_cache()
     key = cache.key(workload, config, length, warmup)

@@ -1,0 +1,20 @@
+"""The single source of truth for simulation-length defaults.
+
+Every layer that needs a default trace length or warmup — the CLI, the
+benchmark harness, :func:`repro.sim.runner.simulate`,
+:func:`repro.sim.cache.simulate_cached`, and the experiment drivers —
+imports these constants, so the documented defaults cannot drift from the
+implemented ones (they once did: the experiments docstring said 20000
+while ``default_length()`` returned 12000).
+
+Environment overrides (``REPRO_LENGTH``, ``REPRO_WARMUP``) are applied by
+:mod:`repro.sim.experiments`, not here: these are the *fallback* values.
+"""
+
+#: Trace length in instructions when neither the caller nor ``REPRO_LENGTH``
+#: specifies one.
+DEFAULT_LENGTH = 12000
+
+#: Warmup instructions excluded from measurement when neither the caller nor
+#: ``REPRO_WARMUP`` specifies a value.
+DEFAULT_WARMUP = 2000

@@ -4,14 +4,19 @@ Environment knobs (all optional):
 
 - ``REPRO_WORKLOADS`` — "all" (default) or an integer N to run only the
   first N suite workloads (quick mode).
-- ``REPRO_LENGTH`` — trace length in instructions (default 20000).
+- ``REPRO_LENGTH`` — trace length in instructions (default
+  :data:`~repro.sim.defaults.DEFAULT_LENGTH` = 12000).
 - ``REPRO_WARMUP`` — warmup instructions excluded from measurement
-  (default 4000).
+  (default :data:`~repro.sim.defaults.DEFAULT_WARMUP` = 2000).
+- ``REPRO_JOBS`` — worker processes for suite runs (default
+  ``os.cpu_count()``; 1 forces fully serial execution).
+- ``REPRO_PROGRESS`` — stream per-job progress lines to stderr.
 """
 
 import os
 
-from repro.sim.cache import simulate_cached
+from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
+from repro.sim.parallel import default_jobs, run_suite_parallel
 from repro.stats.report import geomean, speedup
 from repro.workloads.suite import workload_names
 
@@ -25,25 +30,43 @@ def default_workloads():
 
 
 def default_length():
-    return int(os.environ.get("REPRO_LENGTH", "12000"))
+    return int(os.environ.get("REPRO_LENGTH", str(DEFAULT_LENGTH)))
 
 
 def default_warmup():
-    return int(os.environ.get("REPRO_WARMUP", "2000"))
+    return int(os.environ.get("REPRO_WARMUP", str(DEFAULT_WARMUP)))
 
 
-def run_suite(config, workloads=None, length=None, warmup=None):
+def run_suite(config, workloads=None, length=None, warmup=None,
+              parallel=None, jobs=None, cache=None, progress=None):
     """Run (cache-backed) every workload under ``config``.
+
+    Uncached (workload, config) pairs are fanned out over the
+    :mod:`repro.sim.parallel` worker pool; results are identical to serial
+    execution regardless of worker count.
+
+    Args:
+        parallel: ``True`` forces the pool, ``False`` forces in-process
+            serial execution, ``None`` (default) uses the pool whenever
+            more than one worker is available (``REPRO_JOBS`` /
+            ``os.cpu_count()``).
+        jobs: worker count override (else ``REPRO_JOBS``).
 
     Returns {workload_name: SimResult}.
     """
     workloads = workloads if workloads is not None else default_workloads()
     length = length if length is not None else default_length()
     warmup = warmup if warmup is not None else default_warmup()
-    return {
-        name: simulate_cached(name, config, length=length, warmup=warmup)
-        for name in workloads
-    }
+    max_workers = jobs if jobs is not None else default_jobs()
+    if parallel is False:
+        max_workers = 1
+    elif parallel is True:
+        max_workers = max(2, max_workers)
+    results, _ = run_suite_parallel(
+        config, workloads, length, warmup,
+        cache=cache, max_workers=max_workers, progress=progress,
+    )
+    return results
 
 
 def suite_speedup(feature_results, baseline_results):

@@ -1,0 +1,270 @@
+"""Parallel suite execution engine.
+
+Per-(workload, config) simulations are embarrassingly parallel — nothing is
+shared between two runs except the on-disk result cache.  This module fans
+a list of jobs out over a ``multiprocessing`` pool while keeping every
+cache interaction in the parent process:
+
+- the parent checks the :class:`~repro.sim.cache.ResultCache` first, so
+  workers only ever simulate genuine misses;
+- duplicate in-flight keys are deduplicated before submission (two figures
+  asking for the same (workload, config, length, warmup) share one run);
+- workers return plain result dicts; the parent writes them to the cache,
+  so concurrent workers never race on disk.
+
+The worker entry point is a module-level function and every job payload is
+picklable, so the engine is safe under the ``spawn`` start method (macOS /
+Windows); on platforms that offer ``fork`` it is used by default because
+worker start-up is substantially cheaper.  Override with
+``REPRO_MP_START=spawn|fork|forkserver``.
+
+Knobs:
+
+- ``REPRO_JOBS`` — worker count (also ``--jobs`` on the CLI); default
+  ``os.cpu_count()``.
+- ``REPRO_MP_START`` — multiprocessing start method.
+- ``REPRO_PROGRESS`` — when set (non-empty, not "0"), stream per-job
+  progress lines to stderr even if no explicit callback is given.
+
+Results are deterministic and byte-identical to serial execution: each
+simulation is seeded purely by (workload name, config), and the returned
+mapping is assembled in job order, not completion order.
+"""
+
+import multiprocessing
+import os
+import sys
+import time
+
+from repro.sim.cache import default_cache
+from repro.sim.runner import SimResult, simulate
+
+
+def default_jobs():
+    """Worker count: ``REPRO_JOBS`` env override, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def start_method():
+    """The multiprocessing start method the engine will use."""
+    env = os.environ.get("REPRO_MP_START")
+    if env:
+        return env
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _env_progress_enabled():
+    value = os.environ.get("REPRO_PROGRESS", "")
+    return value not in ("", "0")
+
+
+def _stderr_progress(done, total, workload, config_name, seconds, source):
+    sys.stderr.write(
+        "[%*d/%d] %-24s %-14s %6.2fs  %s\n"
+        % (len(str(total)), done, total, workload, config_name, seconds, source)
+    )
+    sys.stderr.flush()
+
+
+class TimingReport(object):
+    """Wall-clock accounting for one :func:`run_jobs` invocation."""
+
+    __slots__ = (
+        "wall_seconds",
+        "jobs_total",
+        "jobs_simulated",
+        "jobs_deduplicated",
+        "cache_hits",
+        "workers",
+        "instructions_simulated",
+    )
+
+    def __init__(self, wall_seconds, jobs_total, jobs_simulated,
+                 jobs_deduplicated, cache_hits, workers,
+                 instructions_simulated):
+        self.wall_seconds = wall_seconds
+        self.jobs_total = jobs_total
+        self.jobs_simulated = jobs_simulated
+        self.jobs_deduplicated = jobs_deduplicated
+        self.cache_hits = cache_hits
+        self.workers = workers
+        self.instructions_simulated = instructions_simulated
+
+    @property
+    def instructions_per_second(self):
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.instructions_simulated / self.wall_seconds
+
+    def as_dict(self):
+        data = {name: getattr(self, name) for name in self.__slots__}
+        data["instructions_per_second"] = self.instructions_per_second
+        return data
+
+    def format(self):
+        lines = [
+            "suite timing: %d jobs in %.2fs (%d simulated, %d cache hits, "
+            "%d deduplicated) on %d worker%s"
+            % (self.jobs_total, self.wall_seconds, self.jobs_simulated,
+               self.cache_hits, self.jobs_deduplicated, self.workers,
+               "" if self.workers == 1 else "s"),
+        ]
+        if self.jobs_simulated:
+            lines.append(
+                "  %d instructions simulated, %.0f instr/s aggregate"
+                % (self.instructions_simulated, self.instructions_per_second)
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<TimingReport %d jobs %.2fs>" % (self.jobs_total, self.wall_seconds)
+
+
+def _run_job(item):
+    """Worker entry point: simulate one (key, job) pair.
+
+    Module-level (not a closure) so it can be pickled by reference under
+    the ``spawn`` start method.  Returns the JSON-friendly result payload —
+    never a :class:`SimResult` — to keep the IPC surface minimal.
+    """
+    key, (workload, config, length, warmup) = item
+    started = time.perf_counter()
+    result = simulate(workload, config, length=length, warmup=warmup)
+    return key, result.data, time.perf_counter() - started
+
+
+def run_jobs(jobs, cache=None, max_workers=None, progress=None):
+    """Run (workload, config, length, warmup) jobs through the cache + pool.
+
+    Args:
+        jobs: sequence of ``(workload, config, length, warmup)`` tuples.
+        cache: a :class:`~repro.sim.cache.ResultCache`; defaults to the
+            shared on-disk cache.
+        max_workers: pool size; defaults to :func:`default_jobs`.  The pool
+            is skipped entirely (plain in-process loop) when one worker
+            suffices, so ``REPRO_JOBS=1`` gives the exact serial behaviour.
+        progress: optional callback
+            ``(done, total, workload, config_name, seconds, source)`` with
+            ``source`` one of ``"cache"``, ``"run"``, ``"dedup"``.  When
+            omitted, ``REPRO_PROGRESS=1`` enables a stderr printer.
+
+    Returns:
+        ``(results, report)`` — ``results`` is a list of
+        :class:`~repro.sim.runner.SimResult` in job order, ``report`` a
+        :class:`TimingReport`.
+    """
+    jobs = list(jobs)
+    cache = cache if cache is not None else default_cache()
+    if max_workers is None:
+        max_workers = default_jobs()
+    if progress is None and _env_progress_enabled():
+        progress = _stderr_progress
+    started = time.perf_counter()
+    total = len(jobs)
+
+    keys = [cache.key(w, c, l, u) for (w, c, l, u) in jobs]
+    by_key = {}        # key -> SimResult (hits now, fills later)
+    pending = {}       # key -> job: deduplicated in-flight misses
+    cache_hits = 0
+    deduplicated = 0
+    done = 0
+    for key, job in zip(keys, jobs):
+        if key in by_key:
+            deduplicated += 1
+            done += 1
+            if progress:
+                progress(done, total, job[0], job[1].name, 0.0, "dedup")
+            continue
+        if key in pending:
+            deduplicated += 1
+            continue
+        cached = cache.get(key)
+        if cached is not None:
+            by_key[key] = cached
+            cache_hits += 1
+            done += 1
+            if progress:
+                progress(done, total, job[0], job[1].name, 0.0, "cache")
+        else:
+            pending[key] = job
+
+    misses = list(pending.items())
+    workers = max(1, min(max_workers, len(misses)))
+    if workers == 1:
+        # In-process path: no pool start-up cost, identical results.
+        for item in misses:
+            key, data, seconds = _run_job(item)
+            result = SimResult(data)
+            cache.put(key, result)
+            by_key[key] = result
+            done += 1
+            if progress:
+                progress(done, total, data["workload"], data["config"],
+                         seconds, "run")
+    elif misses:
+        ctx = multiprocessing.get_context(start_method())
+        pool = ctx.Pool(processes=workers)
+        try:
+            for key, data, seconds in pool.imap_unordered(_run_job, misses):
+                result = SimResult(data)
+                cache.put(key, result)   # parent-only disk writes
+                by_key[key] = result
+                done += 1
+                if progress:
+                    progress(done, total, data["workload"], data["config"],
+                             seconds, "run")
+        finally:
+            pool.close()
+            pool.join()
+
+    report = TimingReport(
+        wall_seconds=time.perf_counter() - started,
+        jobs_total=total,
+        jobs_simulated=len(misses),
+        jobs_deduplicated=deduplicated,
+        cache_hits=cache_hits,
+        workers=workers if misses else 0,
+        instructions_simulated=sum(
+            by_key[key].data["total_instructions"] for key, _ in misses
+        ),
+    )
+    # Job order, not completion order: deterministic output.
+    return [by_key[key] for key in keys], report
+
+
+def run_suite_parallel(config, workloads, length, warmup,
+                       cache=None, max_workers=None, progress=None):
+    """Fan one config across ``workloads``; returns ``({name: SimResult},
+    TimingReport)``."""
+    jobs = [(name, config, length, warmup) for name in workloads]
+    results, report = run_jobs(jobs, cache=cache, max_workers=max_workers,
+                               progress=progress)
+    return dict(zip(workloads, results)), report
+
+
+def run_matrix(configs, workloads, length, warmup,
+               cache=None, max_workers=None, progress=None):
+    """Fan the full (config x workload) cross-product through one pool.
+
+    Submitting every cell at once keeps all workers busy across config
+    boundaries (a per-config pool would drain to a straggler at each
+    boundary).  Returns ``([{name: SimResult}, ...] in config order,
+    TimingReport)``.
+    """
+    configs = list(configs)
+    workloads = list(workloads)
+    jobs = [
+        (name, config, length, warmup)
+        for config in configs
+        for name in workloads
+    ]
+    results, report = run_jobs(jobs, cache=cache, max_workers=max_workers,
+                               progress=progress)
+    per_config = []
+    for i in range(len(configs)):
+        chunk = results[i * len(workloads):(i + 1) * len(workloads)]
+        per_config.append(dict(zip(workloads, chunk)))
+    return per_config, report

@@ -8,7 +8,14 @@ and caches are warm, matching how architecture papers measure region IPC.
 
 from repro.core.config import baseline
 from repro.core.core import OOOCore
+from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
 from repro.workloads.suite import build_workload, workload_category
+
+#: Result-schema / core-semantics version, mixed into every ResultCache
+#: fingerprint.  Bump this whenever :class:`SimResult` gains/changes fields
+#: or the core's timing semantics change, so stale on-disk results from an
+#: older simulator become cache misses instead of wrong answers.
+SCHEMA_VERSION = 2
 
 
 class SimResult(object):
@@ -115,8 +122,8 @@ class SimResult(object):
 def simulate(
     workload,
     config=None,
-    length=20000,
-    warmup=4000,
+    length=DEFAULT_LENGTH,
+    warmup=DEFAULT_WARMUP,
     record_commits=False,
     max_cycles=None,
 ):

@@ -1,5 +1,40 @@
 """Per-simulation counters and the result record a run produces."""
 
+#: Every counter one simulation run maintains.  Kept as an explicit tuple
+#: (rather than introspecting ``__dict__``) so :class:`SimStats` can use
+#: ``__slots__`` — the core increments these inline every cycle, and slot
+#: access is measurably cheaper than dict-backed attributes.
+SIM_STAT_FIELDS = (
+    "cycles",
+    "instructions",
+    "loads",
+    "stores",
+    "branches",
+    "branch_mispredicts",
+    "load_forwards",
+    # Flush accounting.
+    "md_flushes",
+    "vp_flushes",
+    "squashed_instructions",
+    # Scheduler behaviour.
+    "issued",
+    "replay_issues",
+    "hit_miss_mispredicts",
+    # Load latency accounting (cycles from issue to data ready).
+    "load_latency_sum",
+    "load_latency_count",
+    # Loads that executed effectively in a single cycle thanks to RFP.
+    "loads_single_cycle",
+    # Dispatch stalls by cause (diagnosis aid).
+    "stall_rob",
+    "stall_rs",
+    "stall_lq",
+    "stall_sq",
+    "stall_prf",
+    # EPP retirement re-executions.
+    "retire_reexecutions",
+)
+
 
 class SimStats(object):
     """Everything one simulation run counts.
@@ -8,35 +43,11 @@ class SimStats(object):
     :meth:`as_dict` / the convenience properties.
     """
 
+    __slots__ = SIM_STAT_FIELDS
+
     def __init__(self):
-        self.cycles = 0
-        self.instructions = 0
-        self.loads = 0
-        self.stores = 0
-        self.branches = 0
-        self.branch_mispredicts = 0
-        self.load_forwards = 0
-        # Flush accounting.
-        self.md_flushes = 0
-        self.vp_flushes = 0
-        self.squashed_instructions = 0
-        # Scheduler behaviour.
-        self.issued = 0
-        self.replay_issues = 0
-        self.hit_miss_mispredicts = 0
-        # Load latency accounting (cycles from issue to data ready).
-        self.load_latency_sum = 0
-        self.load_latency_count = 0
-        # Loads that executed effectively in a single cycle thanks to RFP.
-        self.loads_single_cycle = 0
-        # Dispatch stalls by cause (diagnosis aid).
-        self.stall_rob = 0
-        self.stall_rs = 0
-        self.stall_lq = 0
-        self.stall_sq = 0
-        self.stall_prf = 0
-        # EPP retirement re-executions.
-        self.retire_reexecutions = 0
+        for name in SIM_STAT_FIELDS:
+            setattr(self, name, 0)
 
     @property
     def ipc(self):
@@ -48,8 +59,13 @@ class SimStats(object):
             return 0.0
         return self.load_latency_sum / self.load_latency_count
 
+    def counters(self):
+        """Raw counter values only (no derived metrics) — the snapshot the
+        warmup-window measurement subtracts."""
+        return {name: getattr(self, name) for name in SIM_STAT_FIELDS}
+
     def as_dict(self):
-        data = dict(self.__dict__)
+        data = self.counters()
         data["ipc"] = self.ipc
         data["avg_load_latency"] = self.avg_load_latency
         return data

@@ -1,0 +1,223 @@
+"""The parallel suite execution engine and cache robustness.
+
+Covers the guarantees the engine makes: parallel results byte-identical to
+serial, in-flight deduplication, parent-only cache fills, corrupted cache
+entries treated as misses and safely rewritten, and schema-versioned cache
+keys.
+"""
+
+import json
+import os
+
+import pytest
+
+from conftest import quiet_config
+
+from repro.core.config import baseline
+from repro.sim import cache as cache_mod
+from repro.sim.cache import ResultCache, config_fingerprint, simulate_cached
+from repro.sim.experiments import run_suite
+from repro.sim.parallel import (
+    TimingReport,
+    default_jobs,
+    run_jobs,
+    run_matrix,
+    run_suite_parallel,
+    start_method,
+)
+
+WORKLOADS = ["spec06_bzip2", "spec06_mcf", "spec06_perlbench"]
+LENGTH = 1200
+WARMUP = 200
+
+
+def small_jobs(config=None):
+    config = config or quiet_config()
+    return [(name, config, LENGTH, WARMUP) for name in WORKLOADS]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, tmp_path):
+        """run_suite(parallel=True) and serial produce identical data."""
+        serial = run_suite(quiet_config(), workloads=WORKLOADS, length=LENGTH,
+                           warmup=WARMUP, parallel=False,
+                           cache=ResultCache(str(tmp_path / "serial")))
+        parallel = run_suite(quiet_config(), workloads=WORKLOADS, length=LENGTH,
+                             warmup=WARMUP, parallel=True, jobs=3,
+                             cache=ResultCache(str(tmp_path / "par")))
+        assert set(serial) == set(parallel)
+        for name in WORKLOADS:
+            assert serial[name].data == parallel[name].data
+
+    def test_parallel_cache_files_identical(self, tmp_path):
+        """The bytes written to disk do not depend on the worker count."""
+        d1, d2 = str(tmp_path / "a"), str(tmp_path / "b")
+        run_jobs(small_jobs(), cache=ResultCache(d1), max_workers=1)
+        run_jobs(small_jobs(), cache=ResultCache(d2), max_workers=3)
+        files1 = sorted(os.listdir(d1))
+        files2 = sorted(os.listdir(d2))
+        assert files1 == files2 and files1
+        for name in files1:
+            with open(os.path.join(d1, name)) as h1, \
+                    open(os.path.join(d2, name)) as h2:
+                assert h1.read() == h2.read()
+
+    def test_run_suite_parallel_returns_mapping_and_report(self, tmp_path):
+        results, report = run_suite_parallel(
+            quiet_config(), WORKLOADS, LENGTH, WARMUP,
+            cache=ResultCache(str(tmp_path)), max_workers=2)
+        assert list(results) == WORKLOADS
+        assert report.jobs_total == len(WORKLOADS)
+        assert report.instructions_simulated == LENGTH * len(WORKLOADS)
+
+    def test_results_in_job_order(self, tmp_path):
+        results, _ = run_jobs(small_jobs(), cache=ResultCache(str(tmp_path)),
+                              max_workers=3)
+        assert [r.workload for r in results] == WORKLOADS
+
+
+class TestDedupAndCache:
+    def test_duplicate_jobs_simulated_once(self, tmp_path):
+        jobs = small_jobs()[:1] * 4
+        results, report = run_jobs(jobs, cache=ResultCache(str(tmp_path)),
+                                   max_workers=2)
+        assert report.jobs_total == 4
+        assert report.jobs_simulated == 1
+        assert report.jobs_deduplicated == 3
+        assert len({id(r.data) for r in results}) <= 2  # shared result object
+
+    def test_second_run_all_hits(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_jobs(small_jobs(), cache=cache, max_workers=2)
+        _, report = run_jobs(small_jobs(), cache=cache, max_workers=2)
+        assert report.jobs_simulated == 0
+        assert report.cache_hits == len(WORKLOADS)
+
+    def test_progress_callback_sees_every_job(self, tmp_path):
+        seen = []
+        run_jobs(small_jobs(), cache=ResultCache(str(tmp_path)), max_workers=2,
+                 progress=lambda *a: seen.append(a))
+        assert len(seen) == len(WORKLOADS)
+        assert {s[5] for s in seen} == {"run"}
+        assert {s[1] for s in seen} == {len(WORKLOADS)}
+
+    def test_run_matrix_shapes(self, tmp_path):
+        configs = [quiet_config(), quiet_config(rfp={"enabled": True})]
+        per_config, report = run_matrix(configs, WORKLOADS, LENGTH, WARMUP,
+                                        cache=ResultCache(str(tmp_path)),
+                                        max_workers=2)
+        assert len(per_config) == 2
+        for results in per_config:
+            assert set(results) == set(WORKLOADS)
+        assert report.jobs_total == 2 * len(WORKLOADS)
+
+
+class TestCorruptedCache:
+    def test_corrupted_entry_is_miss_and_rewritten(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = quiet_config()
+        good = simulate_cached(WORKLOADS[0], config, length=LENGTH,
+                               warmup=WARMUP, cache=cache)
+        key = cache.key(WORKLOADS[0], config, LENGTH, WARMUP)
+        path = cache._path(key)
+        with open(path, "w") as handle:
+            handle.write('{"workload": "spec06_bzip2", "truncat')  # partial JSON
+        assert cache.get(key) is None  # corrupted -> miss
+        again = simulate_cached(WORKLOADS[0], config, length=LENGTH,
+                                warmup=WARMUP, cache=cache)
+        assert again.data == good.data
+        with open(path) as handle:
+            assert json.load(handle) == good.data  # safely rewritten
+
+    def test_corrupted_entry_rewritten_under_parallel_fill(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = quiet_config()
+        keys = [cache.key(name, config, LENGTH, WARMUP) for name in WORKLOADS]
+        os.makedirs(cache.directory, exist_ok=True)
+        for key in keys:
+            with open(cache._path(key), "w") as handle:
+                handle.write("not json at all")
+        results, report = run_jobs(small_jobs(config), cache=cache,
+                                   max_workers=3)
+        assert report.jobs_simulated == len(WORKLOADS)  # all misses
+        for key, result in zip(keys, results):
+            with open(cache._path(key)) as handle:
+                assert json.load(handle) == result.data
+
+    def test_put_tmp_file_is_per_process(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = quiet_config()
+        simulate_cached(WORKLOADS[0], config, length=LENGTH, warmup=WARMUP,
+                        cache=cache)
+        leftovers = [n for n in os.listdir(str(tmp_path)) if ".tmp" in n]
+        assert leftovers == []
+
+
+class TestSchemaVersion:
+    def test_schema_version_changes_fingerprint(self, monkeypatch):
+        before = config_fingerprint(baseline())
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION",
+                            cache_mod.SCHEMA_VERSION + 1)
+        assert config_fingerprint(baseline()) != before
+
+    def test_fingerprint_still_config_sensitive(self):
+        assert config_fingerprint(baseline()) != config_fingerprint(
+            baseline(rfp={"enabled": True}))
+
+
+class TestKnobs:
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert default_jobs() == 7
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() >= 1
+
+    def test_start_method_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        assert start_method() == "spawn"
+        monkeypatch.delenv("REPRO_MP_START")
+        assert start_method() in ("fork", "spawn")
+
+    def test_timing_report_format(self):
+        report = TimingReport(wall_seconds=2.0, jobs_total=10,
+                              jobs_simulated=6, jobs_deduplicated=1,
+                              cache_hits=3, workers=4,
+                              instructions_simulated=120000)
+        text = report.format()
+        assert "10 jobs" in text and "4 workers" in text
+        assert report.instructions_per_second == pytest.approx(60000.0)
+        data = report.as_dict()
+        assert data["cache_hits"] == 3
+        assert data["instructions_per_second"] == pytest.approx(60000.0)
+
+
+class TestCacheMaintenance:
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_jobs(small_jobs(), cache=cache, max_workers=1)
+        stats = cache.stats()
+        assert stats["entries"] == len(WORKLOADS)
+        assert stats["bytes"] > 0
+        assert cache.clear() == len(WORKLOADS)
+        assert cache.stats()["entries"] == 0
+
+    def test_clear_missing_directory(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "nonexistent"))
+        assert cache.clear() == 0
+        assert cache.stats()["entries"] == 0
+
+    def test_cli_cache_commands(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(cache_mod, "_default_cache", None)
+        from repro.__main__ import main
+        simulate_cached(WORKLOADS[0], quiet_config(), length=LENGTH,
+                        warmup=WARMUP)
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "1" in out
+        assert main(["cache-clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache-stats"]) == 0
+        assert cache_mod.default_cache().stats()["entries"] == 0
