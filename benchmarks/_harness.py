@@ -17,7 +17,7 @@ serial), ``REPRO_PROGRESS`` (stream per-job lines to stderr) — see
 
 import os
 
-from repro.core.config import baseline, baseline_2x
+from repro.core.config import baseline
 from repro.sim.experiments import (
     default_length,
     default_warmup,

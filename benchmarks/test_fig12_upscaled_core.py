@@ -4,7 +4,7 @@ Paper: the 10-wide, resource-doubled core gains 5.7% (vs 3.1% on the
 baseline) with coverage rising to 53.7% thanks to the extra L1 bandwidth.
 """
 
-from _harness import RFP_ON, emit, pct, rfp_baseline, speedup_block, suite_matrix
+from _harness import RFP_ON, emit, pct, rfp_baseline, suite_matrix
 from repro.core.config import baseline, baseline_2x
 from repro.sim.experiments import mean_fraction, suite_speedup
 

@@ -7,7 +7,7 @@ coverage — RFP and VP are synergistic.
 
 from _harness import emit, pct, rfp_baseline, suite
 from repro.core.config import baseline
-from repro.sim.experiments import mean_fraction, suite_speedup
+from repro.sim.experiments import suite_speedup
 
 
 def _gain(results, base):

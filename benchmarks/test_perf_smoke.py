@@ -73,7 +73,12 @@ def _measure_engine(workloads, length, warmup):
     return report
 
 
-def test_perf_smoke(benchmark):
+def test_perf_smoke(benchmark, monkeypatch):
+    # Tracing must be off for the figure to mean anything: a stray
+    # REPRO_TRACE in the environment would bypass the result cache and
+    # charge event collection to the fast path being measured.
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+
     workloads = default_workloads()[:4]
     length = default_length()
     warmup = default_warmup()

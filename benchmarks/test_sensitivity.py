@@ -8,7 +8,6 @@ from _harness import emit, pct, rfp_baseline, suite
 from repro.core.config import RFPConfig, baseline
 from repro.rfp.storage import storage_report
 from repro.sim.experiments import mean_fraction, suite_speedup
-from repro.stats.report import format_table
 
 
 def _gain(feature_results, baseline_results):

@@ -2,6 +2,7 @@
 
 Commands:
     run <workload>        simulate one workload, print IPC and RFP stats
+    trace <workload>      simulate with event tracing, print pipeline view
     suite                 run a suite slice, print per-category speedups
     workloads             list the 65-workload suite
     storage               print Table 1's storage arithmetic
@@ -11,9 +12,12 @@ Commands:
 """
 
 import argparse
+import json
 import sys
 
 from repro.core.config import RFPConfig, baseline, baseline_2x
+from repro.obs.export import dump_jsonl, pipeline_view, sort_events, write_jsonl
+from repro.obs.tracer import TraceSpec, parse_cycle_range
 from repro.rfp.storage import storage_report
 from repro.sim.cache import default_cache
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
@@ -57,6 +61,48 @@ def cmd_run(args):
     return 0
 
 
+def cmd_trace(args):
+    config = _config_from_args(args)
+    try:
+        cycle_range = parse_cycle_range(args.cycles or "")
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    # Collect the full event stream and window at render time, so the
+    # pipeline view can still label rows whose rename fell outside the
+    # requested cycle window.
+    spec = TraceSpec(args.out, loads_only=(args.filter == "loads"))
+    tracer = spec.build_tracer()
+    result = simulate(args.workload, config, length=args.length,
+                      warmup=args.warmup, tracer=tracer)
+    events = sort_events(tracer.events)
+    if args.format == "jsonl":
+        if cycle_range is not None:
+            lo, hi = cycle_range
+            events = [e for e in events
+                      if e["cycle"] >= lo
+                      and (hi is None or e["cycle"] <= hi)]
+        text = dump_jsonl(events)
+    else:
+        text = pipeline_view(events, cycle_range=cycle_range)
+    if args.out:
+        if args.format == "jsonl":
+            write_jsonl(events, args.out)
+        else:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        print("%d events -> %s" % (len(events), args.out))
+    else:
+        print(text)
+    obs = result.data.get("obs", {})
+    load_use = obs.get("histograms", {}).get("load_to_use_latency")
+    if load_use and load_use.get("count"):
+        print("load-to-use latency: mean %.1f, p50 %d, p99 %d cycles"
+              % (load_use["mean"], load_use["p50"], load_use["p99"]),
+              file=sys.stderr)
+    return 0
+
+
 def cmd_suite(args):
     config = _config_from_args(args)
     names = workload_names()[: args.num] if args.num else workload_names()
@@ -74,6 +120,17 @@ def cmd_suite(args):
     rows.append(("ALL (geomean)", "%+.2f%%" % ((overall - 1) * 100)))
     print(format_table(["category", "speedup vs baseline"], rows))
     print(report.format())
+    if args.out:
+        # Stable per-workload dump: the CI determinism job diffs the file
+        # produced by --jobs 1 against --jobs 4 byte for byte.
+        payload = {
+            "baseline": {name: base[name].as_dict() for name in names},
+            "feature": {name: feature[name].as_dict() for name in names},
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
     return 0
 
 
@@ -139,12 +196,30 @@ def build_parser():
     add_sim_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
+    trace_parser = sub.add_parser(
+        "trace", help="simulate one workload with event tracing")
+    trace_parser.add_argument("workload")
+    trace_parser.add_argument("--cycles", default=None, metavar="A:B",
+                              help="restrict events to a cycle window "
+                                   "(either end optional)")
+    trace_parser.add_argument("--filter", choices=["loads"], default=None,
+                              help="per-instruction events for loads only")
+    trace_parser.add_argument("--format", choices=["pipeline", "jsonl"],
+                              default="pipeline",
+                              help="pipeline text view or raw JSONL events")
+    trace_parser.add_argument("-o", "--out", default=None,
+                              help="write to a file instead of stdout")
+    add_sim_args(trace_parser)
+    trace_parser.set_defaults(func=cmd_trace)
+
     suite_parser = sub.add_parser("suite", help="run a suite slice")
     suite_parser.add_argument("-n", "--num", type=int, default=None,
                               help="only the first N workloads")
     suite_parser.add_argument("-j", "--jobs", type=int, default=None,
                               help="worker processes (default: REPRO_JOBS "
                                    "or the CPU count)")
+    suite_parser.add_argument("--out", default=None,
+                              help="write per-workload result JSON to a file")
     add_sim_args(suite_parser)
     suite_parser.set_defaults(func=cmd_suite)
 

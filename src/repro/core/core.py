@@ -41,10 +41,14 @@ from repro.vp import build_predictor
 class OOOCore(object):
     """A single-core, single-trace out-of-order pipeline simulation."""
 
-    def __init__(self, trace, config, record_commits=False):
+    def __init__(self, trace, config, record_commits=False, tracer=None):
         config.validate()
         self.trace = trace
         self.config = config
+        #: Observability hook (:class:`~repro.obs.tracer.Tracer`) or None.
+        #: Every use is guarded by ``if tracer is not None`` so the disabled
+        #: path costs one pointer test per hook site.
+        self.tracer = tracer
         self.hierarchy = MemoryHierarchy(config)
         #: Committed memory state; stores write here at retirement.
         self.memory = dict(trace.memory_image)
@@ -72,6 +76,13 @@ class OOOCore(object):
             if config.rfp.enabled
             else None
         )
+        if tracer is not None:
+            self.frontend.tracer = tracer
+            self.rs.tracer = tracer
+            self.rob.tracer = tracer
+            self.sq.tracer = tracer
+            if self.rfp is not None:
+                self.rfp.tracer = tracer
         self.vp = build_predictor(config)
         self.stats = SimStats()
         self.cycle = 0
@@ -106,6 +117,8 @@ class OOOCore(object):
     def step(self):
         """Advance the pipeline one cycle."""
         cycle = self.cycle
+        if self.tracer is not None:
+            self.tracer.now = cycle
         self.ports.begin_cycle(cycle)
         if self.events:
             self._process_events(cycle)
@@ -180,6 +193,8 @@ class OOOCore(object):
         stats = self.stats
         stats.instructions += 1
         instr = dyn.instr
+        if self.tracer is not None:
+            self.tracer.commit(cycle, dyn)
         if dyn.dest_preg is not None:
             self.rename.commit_free(dyn.prev_preg)
             if self.preg_producer.get(dyn.dest_preg) is dyn:
@@ -223,6 +238,7 @@ class OOOCore(object):
         rob = self.rob
         rs = self.rs
         rename = self.rename
+        tracer = self.tracer
         dispatched = 0
         while dispatched < config.rename_width:
             instr = frontend.head_ready(cycle)
@@ -290,6 +306,10 @@ class OOOCore(object):
                 self.sq.allocate(dyn)
             if dyn.dest_preg is not None:
                 self.preg_producer[dyn.dest_preg] = dyn
+            if tracer is not None:
+                # Emitted after the VP/RFP dispatch hooks so the event
+                # payload reflects the final dispatch-time state.
+                tracer.dispatch(cycle, dyn)
             dispatched += 1
         return dispatched
 
@@ -328,8 +348,11 @@ class OOOCore(object):
 
         # ---- RFP fast path --------------------------------------------
         rfp = self.rfp
+        tracer = self.tracer
         if rfp is not None and dyn.rfp_state == D.RFP_INFLIGHT:
             if cycle >= dyn.rfp_bit_set_cycle:
+                if tracer is not None:
+                    tracer.rfp_spec_wakeup(dyn)
                 if dyn.rfp_addr == dyn.addr:
                     fresh_seq = store.seq if store is not None else None
                     if fresh_seq == dyn.rfp_value_seq:
@@ -341,6 +364,10 @@ class OOOCore(object):
                         dyn.served_level = "RFP"
                         if fully_hidden:
                             self.stats.loads_single_cycle += 1
+                        if tracer is not None:
+                            tracer.rfp_use(
+                                cycle, dyn, cycle + 1 - dyn.rfp_complete_cycle
+                            )
                         value = self._resolve_load_value(dyn, store)
                         self._finish_load(dyn, cycle, complete, value)
                         return True
@@ -350,18 +377,26 @@ class OOOCore(object):
                     # used the data yet, §3.2.1).
                     rfp.record_stale(dyn)
                     dyn.rfp_state = D.RFP_WRONG
-                    self.stats.replay_issues += self.rs.charge_replays(dyn.dest_preg)
+                    replays = self.rs.charge_replays(dyn.dest_preg)
+                    self.stats.replay_issues += replays
+                    if tracer is not None:
+                        tracer.rfp_cancel(cycle, dyn, "stale", replays)
                 else:
                     # Wrong predicted address: cancel the speculatively
                     # woken dependents (replay, not a flush) and re-access.
                     rfp.record_wrong(dyn)
                     dyn.rfp_state = D.RFP_WRONG
-                    self.stats.replay_issues += self.rs.charge_replays(dyn.dest_preg)
+                    replays = self.rs.charge_replays(dyn.dest_preg)
+                    self.stats.replay_issues += replays
+                    if tracer is not None:
+                        tracer.rfp_cancel(cycle, dyn, "wrong_addr", replays)
             else:
                 # Load woke before the RFP-inflight bit was visible: the
                 # load initiates its own access and the prefetch is wasted.
                 rfp.stats.race_lost += 1
                 dyn.rfp_state = D.RFP_DROPPED
+                if tracer is not None:
+                    tracer.rfp_drop(dyn, "race_lost")
 
         # ---- EPP path: predicted loads skip the validation access ------
         if (
@@ -429,6 +464,8 @@ class OOOCore(object):
         if write_reg and dyn.dest_preg is not None:
             self.prf.write(dyn.dest_preg, value, complete)
         self.stats.issued += 1
+        if self.tracer is not None:
+            self.tracer.complete(dyn, cycle, complete)
 
     def _finish_load(self, dyn, cycle, complete, value):
         vp_correct = True
@@ -447,11 +484,14 @@ class OOOCore(object):
     # ==================================================================
     # flushes and squashes
 
-    def _squash_younger(self, seq, inclusive):
+    def _squash_younger(self, seq, inclusive, reason=""):
         squashed = self.rob.squash_younger_than(seq, inclusive)
+        tracer = self.tracer
         for dyn in squashed:  # youngest first — RAT walk-back depends on it
             self.stats.squashed_instructions += 1
             dyn.state = D.SQUASHED
+            if tracer is not None:
+                tracer.squash(dyn, reason)
             if dyn.dest_preg is not None:
                 self.rename.unmap(dyn.instr.dst, dyn.dest_preg, dyn.prev_preg)
                 if self.preg_producer.get(dyn.dest_preg) is dyn:
@@ -470,7 +510,7 @@ class OOOCore(object):
     def _flush_md(self, load_dyn, cycle):
         """Memory-ordering violation: restart execution from the load."""
         self.stats.md_flushes += 1
-        self._squash_younger(load_dyn.seq, inclusive=True)
+        self._squash_younger(load_dyn.seq, inclusive=True, reason="md_flush")
         self.frontend.flush_rewind(
             load_dyn.instr.index, cycle + self.config.md_flush_penalty
         )
@@ -482,7 +522,7 @@ class OOOCore(object):
         to the PRF at completion).
         """
         self.stats.vp_flushes += 1
-        self._squash_younger(load_dyn.seq, inclusive=False)
+        self._squash_younger(load_dyn.seq, inclusive=False, reason="vp_flush")
         self.frontend.flush_rewind(
             load_dyn.instr.index + 1, cycle + self.config.vp.flush_penalty
         )

@@ -36,6 +36,8 @@ class Frontend(object):
         #: path-based predictors.
         self.path_history = 0
         self.fetched = 0
+        #: Observability hook; set by the core when tracing is enabled.
+        self.tracer = None
 
     @property
     def drained(self):
@@ -54,6 +56,7 @@ class Frontend(object):
         buffer = self.buffer
         capacity = self.buffer_capacity
         cursor = self.cursor
+        tracer = self.tracer
         while fetched < self.fetch_width:
             if len(buffer) >= capacity:
                 break
@@ -62,6 +65,8 @@ class Frontend(object):
                 break
             cursor.next()
             buffer.append((ready_at, instr))
+            if tracer is not None:
+                tracer.note_fetch(cycle, instr)
             if on_fetch is not None:
                 on_fetch(instr, cycle, self.path_history)
             fetched += 1

@@ -53,6 +53,8 @@ class StoreQueue(object):
         self.entries = []          # active DynInstr stores, oldest first
         self.senior = []           # (release_cycle,) for committed stores
         self.forwards = 0
+        #: Observability hook; set by the core when tracing is enabled.
+        self.tracer = None
 
     @property
     def occupancy(self):
@@ -77,6 +79,8 @@ class StoreQueue(object):
         """Move a committing store to the senior (post-commit drain) list."""
         self.entries.remove(dyn)
         self.senior.append(release_cycle)
+        if self.tracer is not None:
+            self.tracer.store_drain(dyn, release_cycle)
 
     def older_executed_match(self, seq, word_addr):
         """Youngest *executed* store older than ``seq`` writing ``word_addr``.

@@ -9,6 +9,8 @@ class ReorderBuffer(object):
     def __init__(self, num_entries):
         self.num_entries = num_entries
         self.entries = deque()
+        #: Observability hook; set by the core when tracing is enabled.
+        self.tracer = None
 
     @property
     def full(self):
@@ -21,6 +23,8 @@ class ReorderBuffer(object):
     def allocate(self, dyn):
         if self.full:
             raise RuntimeError("ROB overflow")
+        if self.tracer is not None:
+            self.tracer.sample_rob(len(self.entries))
         self.entries.append(dyn)
 
     def head(self):

@@ -34,6 +34,8 @@ class ReservationStation(object):
         self.replay_debt = 0
         self.issued_total = 0
         self.replay_issues_total = 0
+        #: Observability hook; set by the core when tracing is enabled.
+        self.tracer = None
         # Hoisted per-cycle constants (config is immutable for a run).
         self._budget_base = {
             "alu": config.alu_units,
@@ -134,9 +136,12 @@ class ReservationStation(object):
         cancel-and-redispatch cost of a wrong speculative wakeup.
         """
         count = 0
+        tracer = self.tracer
         for dyn in self.entries:
             if dest_preg in dyn.src_pregs:
                 count += 1
+                if tracer is not None:
+                    tracer.replay(dyn, dest_preg)
         self.replay_debt += count
         return count
 

@@ -1,0 +1,50 @@
+"""Cycle-level observability: pipeline event tracing and metrics.
+
+The obs layer answers the question aggregate counters cannot: *when* did a
+given dynamic load get renamed, prefetched, speculatively woken, cancelled,
+or replayed?  It is the debugging substrate for the paper's Fig. 9 timing
+claims — the RFP-inflight bit re-times dependent wakeup so a covered load
+skips the L1 exactly when the prefetch lands.
+
+Three pieces:
+
+- :class:`~repro.obs.tracer.Tracer` — typed pipeline events keyed by
+  dynamic-instruction seqnum and cycle.  Every hook point in the core is
+  behind a single ``if tracer is not None`` guard, so the disabled path
+  costs one pointer comparison.
+- :class:`~repro.obs.metrics.MetricsRegistry` — counters and exact-value
+  histograms (load-to-use latency, prefetch timeliness, PT/PAT/ROB
+  occupancy) that snapshot into the simulation result.
+- :mod:`~repro.obs.export` — a JSONL event log (deterministic bytes) and a
+  Konata-style per-instruction pipeline text view.
+
+Enable via ``python -m repro trace <workload>`` or the ``REPRO_TRACE``
+environment knob (see :func:`~repro.obs.tracer.trace_spec_from_env`).
+"""
+
+from repro.obs.events import EVENT_TYPES, STAGE_RANK
+from repro.obs.export import (
+    dump_jsonl,
+    pipeline_view,
+    read_jsonl,
+    sort_events,
+    write_jsonl,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import TraceSpec, Tracer, parse_cycle_range, trace_spec_from_env
+
+__all__ = [
+    "EVENT_TYPES",
+    "STAGE_RANK",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceSpec",
+    "Tracer",
+    "dump_jsonl",
+    "parse_cycle_range",
+    "pipeline_view",
+    "read_jsonl",
+    "sort_events",
+    "trace_spec_from_env",
+    "write_jsonl",
+]

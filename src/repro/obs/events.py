@@ -1,0 +1,60 @@
+"""Typed pipeline event vocabulary.
+
+Every event is a flat JSON-friendly dict with at least ``cycle`` (when it
+happened), ``seq`` (the dynamic-instruction sequence number it belongs to)
+and ``ev`` (one of the constants below).  Extra fields are event-specific
+and kept to ints/strings so the JSONL export is byte-deterministic.
+
+Stage ranks order events that share a (cycle, seq) pair — e.g. a load that
+is renamed and dispatched in the same cycle sorts rename before dispatch —
+so a per-seqnum timeline read top-to-bottom always follows program-pipeline
+order (paper Fig. 9 stage order for the RFP events).
+"""
+
+# Per-instruction pipeline stages.
+FETCH = "fetch"
+RENAME = "rename"
+DISPATCH = "dispatch"
+ISSUE = "issue"
+EXECUTE = "execute"
+WRITEBACK = "writeback"
+COMMIT = "commit"
+SQUASH = "squash"
+REPLAY = "replay"
+STORE_DRAIN = "store_drain"
+
+# RFP lifecycle events (paper §3.2-§3.4 / Fig. 9).
+PT_HIT = "pt_hit"                  # PT lookup at dispatch was confident
+PT_TRAIN = "pt_train"              # PT trained by the retiring load
+RFP_INJECT = "rfp_inject"          # packet entered the RFP FIFO
+RFP_ISSUE = "rfp_issue"            # packet won L1-port arbitration
+RFP_ARRIVE = "rfp_arrive"          # prefetched data lands in the PRF
+RFP_SPEC_WAKEUP = "rfp_spec_wakeup"  # RFP-inflight bit woke dependents
+RFP_USE = "rfp_use"                # load consumed the prefetched data
+RFP_CANCEL = "rfp_cancel"          # wrong/stale prefetch: dependents cancelled
+RFP_DROP = "rfp_drop"              # packet died before delivering data
+
+EVENT_TYPES = (
+    FETCH,
+    RENAME,
+    DISPATCH,
+    PT_HIT,
+    RFP_INJECT,
+    RFP_ISSUE,
+    RFP_ARRIVE,
+    RFP_SPEC_WAKEUP,
+    ISSUE,
+    EXECUTE,
+    RFP_USE,
+    RFP_CANCEL,
+    RFP_DROP,
+    REPLAY,
+    WRITEBACK,
+    STORE_DRAIN,
+    COMMIT,
+    PT_TRAIN,
+    SQUASH,
+)
+
+#: Tie-break rank for events sharing a (cycle, seq): pipeline order.
+STAGE_RANK = {name: rank for rank, name in enumerate(EVENT_TYPES)}

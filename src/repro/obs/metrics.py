@@ -1,0 +1,98 @@
+"""Counters and exact-value histograms for the observability layer.
+
+Histograms store a ``value -> count`` mapping rather than raw sample lists:
+the quantities we histogram (latencies in cycles, table occupancies) are
+small integers, so this is both compact and exact — percentiles are
+computed from the full distribution, not an approximation.
+"""
+
+
+class Histogram(object):
+    """Exact integer-valued histogram with percentile queries."""
+
+    __slots__ = ("name", "counts", "total", "value_sum")
+
+    def __init__(self, name):
+        self.name = name
+        self.counts = {}
+        self.total = 0
+        self.value_sum = 0
+
+    def record(self, value, count=1):
+        counts = self.counts
+        counts[value] = counts.get(value, 0) + count
+        self.total += count
+        self.value_sum += value * count
+
+    @property
+    def mean(self):
+        return self.value_sum / self.total if self.total else 0.0
+
+    def percentile(self, p):
+        """Smallest recorded value at or below which ``p`` percent of the
+        samples fall (nearest-rank definition); 0 when empty."""
+        if not self.total:
+            return 0
+        rank = max(1, -(-self.total * p // 100))  # ceil without floats
+        cumulative = 0
+        for value in sorted(self.counts):
+            cumulative += self.counts[value]
+            if cumulative >= rank:
+                return value
+        return value
+
+    def snapshot(self):
+        if not self.total:
+            return {"count": 0}
+        values = sorted(self.counts)
+        return {
+            "count": self.total,
+            "sum": self.value_sum,
+            "min": values[0],
+            "max": values[-1],
+            "mean": round(self.mean, 3),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self):
+        return "<Histogram %s n=%d mean=%.2f>" % (self.name, self.total, self.mean)
+
+
+class MetricsRegistry(object):
+    """Named counters + histograms that snapshot into the stats report.
+
+    The tracer bumps a counter per emitted event type, and the core's hook
+    points feed the purpose-built histograms (load-to-use latency, prefetch
+    timeliness, PT/PAT/ROB occupancy).  ``snapshot()`` is JSON-friendly and
+    lands in ``SimResult.data["obs"]`` when tracing is enabled.
+    """
+
+    def __init__(self):
+        self.counters = {}
+        self.histograms = {}
+
+    def inc(self, name, count=1):
+        self.counters[name] = self.counters.get(name, 0) + count
+
+    def histogram(self, name):
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name)
+        return hist
+
+    def snapshot(self):
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "histograms": {
+                name: self.histograms[name].snapshot()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    def __repr__(self):
+        return "<MetricsRegistry %d counters %d histograms>" % (
+            len(self.counters),
+            len(self.histograms),
+        )

@@ -134,6 +134,8 @@ class RFPEngine(object):
         #: would miss the on-die L1/MSHR state holds while the miss file is
         #: nearly full (standard prefetch throttling).
         self.mshr_reserve = 4
+        #: Observability hook; set by the core when tracing is enabled.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # dispatch-side hooks
@@ -155,14 +157,21 @@ class RFPEngine(object):
                 eligible, predicted = True, context_pred
         if not eligible:
             return
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.pt_hit(cycle, dyn, predicted)
         if self.rfp_config.criticality_filter and dyn.pc not in self.critical_pcs:
             return
         if len(self.queue) >= self.rfp_config.queue_entries:
             self.stats.dropped_queue_full += 1
+            if tracer is not None:
+                tracer.rfp_drop(dyn, "queue_full")
             return
         dyn.rfp_state = D.RFP_QUEUED
         self.queue.append(_Packet(dyn, predicted, cycle))
         self.stats.injected += 1
+        if tracer is not None:
+            tracer.rfp_inject(cycle, dyn, predicted)
 
     def on_load_commit(self, dyn, path_history=0):
         """Train the PT (and context table) with the retiring load."""
@@ -170,6 +179,13 @@ class RFPEngine(object):
         self.pt.train(dyn.pc, dyn.addr)
         if self.context is not None:
             self.context.train(dyn.pc, path_history, dyn.addr)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.pt_train(dyn, dyn.addr)
+            tracer.sample_tables(
+                self.pt.occupancy(),
+                self.pat.occupancy() if self.pat is not None else None,
+            )
 
     def on_load_squash(self, dyn):
         """A load was squashed: drop its packet, fix the inflight counter."""
@@ -177,12 +193,16 @@ class RFPEngine(object):
         if dyn.rfp_state == D.RFP_QUEUED:
             dyn.rfp_state = D.RFP_DROPPED
             self.stats.dropped_squash += 1
+            if self.tracer is not None:
+                self.tracer.rfp_drop(dyn, "squash")
 
     def note_load_issued_first(self, dyn):
         """The demand load won the race; its queued packet is dead."""
         if dyn.rfp_state == D.RFP_QUEUED:
             dyn.rfp_state = D.RFP_DROPPED
             self.stats.dropped_load_first += 1
+            if self.tracer is not None:
+                self.tracer.rfp_drop(dyn, "load_first")
 
     def mark_critical(self, pc):
         """Criticality extension: remember a load PC that feeds an address
@@ -206,6 +226,8 @@ class RFPEngine(object):
             if dyn.state != D.DISPATCHED:
                 dyn.rfp_state = D.RFP_DROPPED
                 self.stats.dropped_load_first += 1
+                if self.tracer is not None:
+                    self.tracer.rfp_drop(dyn, "load_first")
                 queue.popleft()
                 continue
             addr = packet.predicted_addr
@@ -216,7 +238,7 @@ class RFPEngine(object):
             store = self.store_queue.older_executed_match(dyn.seq, word)
             if store is not None:
                 self._complete(dyn, addr, cycle, cycle + self.config.store_forward_latency,
-                               value_seq=store.seq)
+                               value_seq=store.seq, source="FWD")
                 self.stats.forwarded += 1
                 queue.popleft()
                 continue
@@ -226,6 +248,8 @@ class RFPEngine(object):
             if self.rfp_config.drop_on_tlb_miss and not self.hierarchy.dtlb.probe(addr):
                 dyn.rfp_state = D.RFP_DROPPED
                 self.stats.dropped_tlb += 1
+                if self.tracer is not None:
+                    self.tracer.rfp_drop(dyn, "tlb_miss")
                 queue.popleft()
                 continue
             if (
@@ -245,12 +269,16 @@ class RFPEngine(object):
             if result.level != "L1" and not self.rfp_config.prefetch_on_l1_miss:
                 dyn.rfp_state = D.RFP_DROPPED
                 self.stats.dropped_l1_miss += 1
+                if self.tracer is not None:
+                    self.tracer.rfp_drop(dyn, "l1_miss")
                 queue.popleft()
                 continue
-            self._complete(dyn, addr, cycle, result.complete, value_seq=None)
+            self._complete(dyn, addr, cycle, result.complete, value_seq=None,
+                           source=result.level)
             queue.popleft()
 
-    def _complete(self, dyn, addr, grant_cycle, complete_cycle, value_seq):
+    def _complete(self, dyn, addr, grant_cycle, complete_cycle, value_seq,
+                  source="L1"):
         """Record a packet that is now guaranteed to bring data."""
         dyn.rfp_state = D.RFP_INFLIGHT
         dyn.rfp_addr = addr
@@ -258,6 +286,9 @@ class RFPEngine(object):
         dyn.rfp_bit_set_cycle = grant_cycle + self.bit_set_offset
         dyn.rfp_value_seq = value_seq
         self.stats.executed += 1
+        if self.tracer is not None:
+            self.tracer.rfp_issue(grant_cycle, dyn, addr, source)
+            self.tracer.rfp_arrive(dyn)
 
     # ------------------------------------------------------------------
     # use-side accounting (called by the core at load issue)

@@ -72,6 +72,12 @@ class PageAddressTable(object):
         order.remove(way)
         order.append(way)
 
+    def occupancy(self):
+        """Number of ways currently holding a page frame number."""
+        return sum(
+            1 for ways in self.ways for page in ways if page is not None
+        )
+
     def dereference(self, pointer):
         """Return the page currently at ``pointer`` (may be stale), or None
         when the slot has never been filled."""

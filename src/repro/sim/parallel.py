@@ -33,11 +33,38 @@ mapping is assembled in job order, not completion order.
 
 import multiprocessing
 import os
+import shutil
 import sys
+import tempfile
 import time
+import traceback
 
+from repro.obs.export import sort_events, write_jsonl
+from repro.obs.tracer import trace_spec_from_env
 from repro.sim.cache import default_cache
 from repro.sim.runner import SimResult, simulate
+
+
+class WorkerError(RuntimeError):
+    """A simulation job failed inside a pool worker.
+
+    Raised in place of the worker's bare traceback so the parent process
+    reports *which* (workload, config) job died — a pool of 65 workloads
+    otherwise surfaces an anonymous ``RemoteTraceback``.  Picklable by
+    construction (``__reduce__``) so it survives the pool's IPC.
+    """
+
+    def __init__(self, workload, config_name, detail):
+        self.workload = workload
+        self.config_name = config_name
+        self.detail = detail
+        super(WorkerError, self).__init__(
+            "simulation job failed (workload=%s, config=%s)\n%s"
+            % (workload, config_name, detail)
+        )
+
+    def __reduce__(self):
+        return (WorkerError, (self.workload, self.config_name, self.detail))
 
 
 def default_jobs():
@@ -124,15 +151,32 @@ class TimingReport(object):
 
 
 def _run_job(item):
-    """Worker entry point: simulate one (key, job) pair.
+    """Worker entry point: simulate one (key, job, trace_path) triple.
 
     Module-level (not a closure) so it can be pickled by reference under
     the ``spawn`` start method.  Returns the JSON-friendly result payload —
     never a :class:`SimResult` — to keep the IPC surface minimal.
+
+    When ``trace_path`` is set (REPRO_TRACE enabled), the worker attaches a
+    tracer and streams the job's sorted event log to that per-job file; the
+    parent merges the files in job order after the pool drains.  Failures
+    are re-raised as :class:`WorkerError` carrying the (workload, config)
+    key plus the worker-side traceback.
     """
-    key, (workload, config, length, warmup) = item
+    key, (workload, config, length, warmup), trace_path = item
     started = time.perf_counter()
-    result = simulate(workload, config, length=length, warmup=warmup)
+    try:
+        tracer = None
+        if trace_path is not None:
+            spec = trace_spec_from_env()
+            tracer = spec.build_tracer() if spec is not None else None
+        result = simulate(workload, config, length=length, warmup=warmup,
+                          tracer=tracer)
+        if tracer is not None:
+            write_jsonl(sort_events(tracer.events), trace_path)
+    except Exception:
+        name = workload if isinstance(workload, str) else workload.name
+        raise WorkerError(name, config.name, traceback.format_exc())
     return key, result.data, time.perf_counter() - started
 
 
@@ -165,7 +209,13 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
     started = time.perf_counter()
     total = len(jobs)
 
-    keys = [cache.key(w, c, l, u) for (w, c, l, u) in jobs]
+    # REPRO_TRACE: bypass the result cache so every job actually simulates
+    # (a cache hit would silently produce no events), making the merged
+    # event log a pure function of the job list — byte-identical between
+    # serial and parallel runs, whatever the cache held beforehand.
+    trace_spec = trace_spec_from_env()
+
+    keys = [cache.key(w, c, lgth, wrm) for (w, c, lgth, wrm) in jobs]
     by_key = {}        # key -> SimResult (hits now, fills later)
     pending = {}       # key -> job: deduplicated in-flight misses
     cache_hits = 0
@@ -181,7 +231,7 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
         if key in pending:
             deduplicated += 1
             continue
-        cached = cache.get(key)
+        cached = cache.get(key) if trace_spec is None else None
         if cached is not None:
             by_key[key] = cached
             cache_hits += 1
@@ -191,34 +241,60 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
         else:
             pending[key] = job
 
-    misses = list(pending.items())
+    trace_dir = None
+    if trace_spec is not None and pending:
+        trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
+
+    def _trace_path(index):
+        if trace_dir is None:
+            return None
+        return os.path.join(trace_dir, "job-%06d.jsonl" % index)
+
+    misses = [
+        (key, job, _trace_path(index))
+        for index, (key, job) in enumerate(pending.items())
+    ]
     workers = max(1, min(max_workers, len(misses)))
-    if workers == 1:
-        # In-process path: no pool start-up cost, identical results.
-        for item in misses:
-            key, data, seconds = _run_job(item)
-            result = SimResult(data)
-            cache.put(key, result)
-            by_key[key] = result
-            done += 1
-            if progress:
-                progress(done, total, data["workload"], data["config"],
-                         seconds, "run")
-    elif misses:
-        ctx = multiprocessing.get_context(start_method())
-        pool = ctx.Pool(processes=workers)
-        try:
-            for key, data, seconds in pool.imap_unordered(_run_job, misses):
+    try:
+        if workers == 1:
+            # In-process path: no pool start-up cost, identical results.
+            for item in misses:
+                key, data, seconds = _run_job(item)
                 result = SimResult(data)
-                cache.put(key, result)   # parent-only disk writes
+                if trace_spec is None:
+                    cache.put(key, result)
                 by_key[key] = result
                 done += 1
                 if progress:
                     progress(done, total, data["workload"], data["config"],
                              seconds, "run")
-        finally:
-            pool.close()
-            pool.join()
+        elif misses:
+            ctx = multiprocessing.get_context(start_method())
+            pool = ctx.Pool(processes=workers)
+            try:
+                for key, data, seconds in pool.imap_unordered(_run_job, misses):
+                    result = SimResult(data)
+                    if trace_spec is None:
+                        cache.put(key, result)   # parent-only disk writes
+                    by_key[key] = result
+                    done += 1
+                    if progress:
+                        progress(done, total, data["workload"], data["config"],
+                                 seconds, "run")
+            finally:
+                pool.close()
+                pool.join()
+        if trace_dir is not None:
+            # Merge per-job event logs in job (not completion) order; the
+            # result is byte-identical however many workers ran.
+            with open(trace_spec.path, "wb") as merged:
+                for _, _, path in misses:
+                    if os.path.exists(path):
+                        with open(path, "rb") as part:
+                            shutil.copyfileobj(part, merged)
+    finally:
+        if trace_dir is not None:
+            shutil.rmtree(trace_dir, ignore_errors=True)
 
     report = TimingReport(
         wall_seconds=time.perf_counter() - started,
@@ -228,7 +304,7 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
         cache_hits=cache_hits,
         workers=workers if misses else 0,
         instructions_simulated=sum(
-            by_key[key].data["total_instructions"] for key, _ in misses
+            by_key[key].data["total_instructions"] for key, _, _ in misses
         ),
     )
     # Job order, not completion order: deterministic output.

@@ -8,6 +8,8 @@ and caches are warm, matching how architecture papers measure region IPC.
 
 from repro.core.config import baseline
 from repro.core.core import OOOCore
+from repro.obs.export import sort_events, write_jsonl
+from repro.obs.tracer import trace_spec_from_env
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
 from repro.workloads.suite import build_workload, workload_category
 
@@ -126,10 +128,17 @@ def simulate(
     warmup=DEFAULT_WARMUP,
     record_commits=False,
     max_cycles=None,
+    tracer=None,
 ):
     """Simulate ``workload`` (suite name or a Trace) under ``config``.
 
     Returns a :class:`SimResult` measured over the post-warmup window.
+
+    Tracing: pass an explicit :class:`~repro.obs.tracer.Tracer` to collect
+    events yourself (the ``trace`` CLI and the parallel engine do), or set
+    ``REPRO_TRACE=<path>`` to have this function attach one and write the
+    sorted JSONL event log to ``<path>`` when the run drains.  Either way
+    the metrics snapshot lands in ``result.data["obs"]``.
     """
     config = config or baseline()
     if isinstance(workload, str):
@@ -140,10 +149,19 @@ def simulate(
         trace = workload
         name = trace.name
         category = trace.category
-    core = OOOCore(trace, config, record_commits=record_commits)
+    env_spec = None
+    if tracer is None:
+        env_spec = trace_spec_from_env()
+        if env_spec is not None:
+            tracer = env_spec.build_tracer()
+    core = OOOCore(trace, config, record_commits=record_commits, tracer=tracer)
     core.warmup_instructions = min(warmup, max(0, len(trace) // 2))
     core.run(max_cycles=max_cycles)
     result = SimResult.from_core(core, name, category)
     if record_commits:
         result.data["committed"] = core.committed
+    if tracer is not None:
+        result.data["obs"] = tracer.metrics.snapshot()
+    if env_spec is not None:
+        write_jsonl(sort_events(tracer.events), env_spec.path)
     return result

@@ -10,8 +10,6 @@ import pytest
 
 from conftest import ADD, BR, LOAD, MOV, STORE, make_trace, quiet_config, run_core
 
-from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Op
 
 
 class TestBasicExecution:

@@ -1,6 +1,6 @@
 """Frontend fetch/stall/rewind behaviour and the hit-miss predictor."""
 
-from conftest import ADD, BR, MOV, make_trace, quiet_config
+from conftest import ADD, BR, make_trace
 
 from repro.core.frontend import Frontend
 from repro.core.hit_miss import HitMissPredictor

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from conftest import quiet_config
 

@@ -19,6 +19,7 @@ from repro.sim.cache import ResultCache, config_fingerprint, simulate_cached
 from repro.sim.experiments import run_suite
 from repro.sim.parallel import (
     TimingReport,
+    WorkerError,
     default_jobs,
     run_jobs,
     run_matrix,
@@ -221,3 +222,73 @@ class TestCacheMaintenance:
         assert "removed 1" in capsys.readouterr().out
         assert main(["cache-stats"]) == 0
         assert cache_mod.default_cache().stats()["entries"] == 0
+
+
+class TestWorkerErrors:
+    def test_serial_failure_names_the_job(self, tmp_path):
+        jobs = [("no_such_workload", quiet_config(), LENGTH, WARMUP)]
+        with pytest.raises(WorkerError) as excinfo:
+            run_jobs(jobs, cache=ResultCache(str(tmp_path)), max_workers=1)
+        err = excinfo.value
+        assert err.workload == "no_such_workload"
+        assert err.config_name == quiet_config().name
+        assert "no_such_workload" in str(err)
+        assert "KeyError" in err.detail
+
+    def test_pool_failure_names_the_job(self, tmp_path):
+        jobs = small_jobs() + [("no_such_workload", quiet_config(),
+                                LENGTH, WARMUP)]
+        with pytest.raises(WorkerError) as excinfo:
+            run_jobs(jobs, cache=ResultCache(str(tmp_path)), max_workers=3)
+        assert excinfo.value.workload == "no_such_workload"
+
+    def test_worker_error_survives_pickling(self):
+        import pickle
+        err = WorkerError("wl", "cfg", "traceback text")
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, WorkerError)
+        assert clone.workload == "wl"
+        assert clone.config_name == "cfg"
+        assert "traceback text" in str(clone)
+
+
+class TestTraceMerge:
+    def _trace(self, tmp_path, monkeypatch, workers, tag):
+        path = str(tmp_path / ("trace-%s.jsonl" % tag))
+        monkeypatch.setenv("REPRO_TRACE", path)
+        run_jobs(small_jobs(), cache=ResultCache(str(tmp_path / tag)),
+                 max_workers=workers)
+        monkeypatch.delenv("REPRO_TRACE")
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def test_trace_byte_identical_serial_vs_parallel(self, tmp_path,
+                                                     monkeypatch):
+        serial = self._trace(tmp_path, monkeypatch, 1, "serial")
+        parallel = self._trace(tmp_path, monkeypatch, 3, "par")
+        assert serial and serial == parallel
+
+    def test_trace_bypasses_result_cache(self, tmp_path, monkeypatch):
+        """A warm cache must not swallow events: tracing runs every job."""
+        cache = ResultCache(str(tmp_path / "warm"))
+        run_jobs(small_jobs(), cache=cache, max_workers=1)   # warm it up
+        path = str(tmp_path / "trace.jsonl")
+        monkeypatch.setenv("REPRO_TRACE", path)
+        _, report = run_jobs(small_jobs(), cache=cache, max_workers=1)
+        assert report.cache_hits == 0
+        assert report.jobs_simulated == len(WORKLOADS)
+        with open(path) as handle:
+            assert handle.readline().startswith('{"')
+
+    def test_traced_results_match_untraced(self, tmp_path, monkeypatch):
+        untraced, _ = run_jobs(small_jobs(),
+                               cache=ResultCache(str(tmp_path / "a")),
+                               max_workers=1)
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "t.jsonl"))
+        traced, _ = run_jobs(small_jobs(),
+                             cache=ResultCache(str(tmp_path / "b")),
+                             max_workers=1)
+        for before, after in zip(untraced, traced):
+            data = dict(after.data)
+            assert data.pop("obs", None) is not None
+            assert before.data == data
