@@ -1,0 +1,104 @@
+"""CI perf-regression gate: compare a fresh BENCH_engine.json to the
+committed reference.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        --reference BENCH_engine.json.committed --new BENCH_engine.json
+
+The check is one-sided: a run is a regression only when a metric falls
+below ``reference * (1 - tolerance)``; being faster than the reference
+never fails.  Two metrics are gated:
+
+- ``serial.instructions_per_second`` — the single-process fast path;
+- ``two_speed.wallclock_speedup`` — the fast-forward engine's edge over
+  full-detail simulation (a same-machine ratio, so it transfers across
+  hardware much better than the absolute figure does).
+
+The default tolerance is deliberately wide (25%): the committed
+reference comes from the development machine, and hosted CI runners are
+both slower and noisier.  ``REPRO_PERF_TOLERANCE`` (or ``--tolerance``)
+overrides it, e.g. for a quiet dedicated runner.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+#: (json path, human label) for every gated metric.  A metric missing
+#: from the *reference* is skipped (old references predate it); missing
+#: from the *new* record it is a failure (the benchmark stopped
+#: measuring something the gate relies on).
+GATED_METRICS = [
+    (("serial", "instructions_per_second"), "serial instr/s"),
+    (("two_speed", "wallclock_speedup"), "two-speed wall-clock ratio"),
+]
+
+
+def _lookup(record, path):
+    node = record
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def check(reference, new, tolerance):
+    """Returns a list of human-readable failure lines (empty = pass)."""
+    failures = []
+    for path, label in GATED_METRICS:
+        ref_value = _lookup(reference, path)
+        if ref_value is None:
+            print("skip  %-28s (not in reference)" % label)
+            continue
+        new_value = _lookup(new, path)
+        if new_value is None:
+            failures.append("%s missing from the new record" % label)
+            continue
+        floor = ref_value * (1.0 - tolerance)
+        verdict = "ok   " if new_value >= floor else "FAIL "
+        line = ("%s %-28s new=%.1f reference=%.1f floor=%.1f"
+                % (verdict, label, new_value, ref_value, floor))
+        print(line)
+        if new_value < floor:
+            failures.append(line.strip())
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="One-sided perf-regression gate over BENCH_engine.json")
+    parser.add_argument("--reference", required=True,
+                        help="committed BENCH_engine.json to gate against")
+    parser.add_argument("--new", required=True,
+                        help="freshly generated BENCH_engine.json")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("REPRO_PERF_TOLERANCE",
+                                     DEFAULT_TOLERANCE)),
+        help="allowed fractional drop below the reference "
+             "(default %(default)s, env REPRO_PERF_TOLERANCE)")
+    args = parser.parse_args(argv)
+
+    with open(args.reference) as handle:
+        reference = json.load(handle)
+    with open(args.new) as handle:
+        new = json.load(handle)
+
+    print("perf gate: tolerance %.0f%% (one-sided)" % (100 * args.tolerance))
+    failures = check(reference, new, args.tolerance)
+    if failures:
+        print("\nperf regression detected:", file=sys.stderr)
+        for line in failures:
+            print("  " + line, file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,8 @@ def _config_from_args(args):
         overrides["rfp"] = {"enabled": True}
     if getattr(args, "vp", None):
         overrides["vp"] = {"enabled": True, "kind": args.vp}
+    if getattr(args, "fast_forward", None) is not None:
+        overrides["fast_forward"] = args.fast_forward
     return factory(**overrides)
 
 
@@ -190,6 +192,12 @@ def build_parser():
                        help="enable a value predictor")
         p.add_argument("--core-2x", action="store_true",
                        help="use the up-scaled Baseline-2x core")
+        p.add_argument("--ff", dest="fast_forward", action="store_true",
+                       default=None,
+                       help="functionally fast-forward the warmup window "
+                            "(default; two-speed simulation)")
+        p.add_argument("--no-ff", dest="fast_forward", action="store_false",
+                       help="simulate the warmup window in full detail")
 
     run_parser = sub.add_parser("run", help="simulate one workload")
     run_parser.add_argument("workload")

@@ -144,6 +144,23 @@ class CoreConfig:
     rfp: RFPConfig = field(default_factory=RFPConfig)
     vp: VPConfig = field(default_factory=VPConfig)
 
+    # ---- two-speed simulation -------------------------------------------
+    #: Execute most of the warmup region on the in-order functional warmer
+    #: (:class:`repro.emu.warmup.FunctionalWarmer`) instead of the detailed
+    #: core — the standard sampled-simulation methodology.  The measured
+    #: region is always simulated in full detail; see EXPERIMENTS.md.
+    fast_forward: bool = True
+    #: Detailed instructions re-simulated between the functional warmup and
+    #: the measured region, so the pipeline-fill transient at the handoff is
+    #: excluded from measurement.  A warmup window no larger than this ramp
+    #: is simulated entirely in detail (fast-forward never engages).
+    ff_detail_ramp: int = 500
+    #: Jump the detailed loop over provably idle cycles (ROB stalled on a
+    #: long-latency miss, nothing can issue/dispatch/fetch) instead of
+    #: spinning ``step()``.  Counter-exact: final stats are identical with
+    #: skipping on or off.
+    idle_skip: bool = True
+
     #: Oracle latency overrides for Fig. 1, e.g. {"L1": 1} serves every L1
     #: hit at register-file latency.
     oracle_overrides: dict = field(default_factory=dict)
@@ -187,6 +204,8 @@ class CoreConfig:
             )
         if self.prf_entries <= 40:
             raise ValueError("physical register file too small")
+        if self.ff_detail_ramp < 0:
+            raise ValueError("ff_detail_ramp must be >= 0")
         for attr in ("fetch_width", "rename_width", "issue_width", "retire_width"):
             if getattr(self, attr) < 1:
                 raise ValueError("%s must be >= 1" % attr)

@@ -26,7 +26,7 @@ from repro.core.dyninstr import DynInstr
 from repro.core.frontend import Frontend
 from repro.core.hit_miss import HitMissPredictor
 from repro.core.lsq import LoadQueue, MemDepPredictor, StoreQueue
-from repro.core.rename import PhysicalRegisterFile, RenameUnit
+from repro.core.rename import INFINITY, PhysicalRegisterFile, RenameUnit
 from repro.core.rob import ReorderBuffer
 from repro.core.scheduler import ReservationStation
 from repro.isa.opcodes import OP_LATENCY, evaluate
@@ -92,6 +92,9 @@ class OOOCore(object):
         self.preg_producer = {}
         self.warmup_instructions = 0
         self.warmup_snapshot = None
+        #: Cycles elided by idle-cycle skipping (not a SimStats counter:
+        #: final stats are identical with skipping on or off).
+        self.idle_cycles_skipped = 0
         self.record_commits = record_commits
         self.committed = []
 
@@ -104,15 +107,197 @@ class OOOCore(object):
         frontend = self.frontend
         rob_entries = self.rob.entries
         step = self.step
+        stats = self.stats
+        # Idle-cycle skipping is counter-exact but invisible to the event
+        # stream, so tracing forces full stepping.
+        idle_skip = self.config.idle_skip and self.tracer is None
         while not (frontend.drained and not rob_entries):
             if self.cycle > limit:
+                head = rob_entries[0] if rob_entries else None
                 raise RuntimeError(
-                    "simulation exceeded %d cycles at trace index %d "
-                    "(likely deadlock)" % (limit, frontend.cursor.index)
+                    "simulation of workload %r under config %r exceeded "
+                    "%d cycles at trace index %d (ROB head seq=%s; "
+                    "likely deadlock)"
+                    % (self.trace.name, self.config.name, limit,
+                       frontend.cursor.index,
+                       head.seq if head is not None else "<empty>")
                 )
+            if not idle_skip:
+                step()
+                continue
+            before = (stats.instructions, stats.issued, self.next_seq,
+                      frontend.fetched)
             step()
+            if (stats.instructions, stats.issued, self.next_seq,
+                    frontend.fetched) == before:
+                self._skip_idle_cycles()
         self.stats.cycles = self.cycle
         return self
+
+    def _skip_idle_cycles(self):
+        """After a cycle with no visible progress, try to jump ``cycle``
+        straight to the next cycle at which anything can happen.
+
+        Delegates the (conservative) analysis to :meth:`_idle_wake`; when
+        a wake cycle is proven, the per-cycle stall counters that would
+        have ticked during the elided window are compensated exactly, so
+        final stats are identical with skipping on or off.
+        """
+        found = self._idle_wake(self.cycle)
+        if found is None:
+            return
+        wake, stall_attr, rfp_blocked = found
+        skipped = wake - self.cycle
+        if skipped <= 0:
+            return
+        stats = self.stats
+        if stall_attr is not None:
+            setattr(stats, stall_attr, getattr(stats, stall_attr) + skipped)
+        if rfp_blocked:
+            self.rfp.stats.blocked_cycles += skipped
+        self.idle_cycles_skipped += skipped
+        self.cycle = wake
+
+    def _idle_wake(self, cycle):
+        """Earliest cycle >= ``cycle`` at which the pipeline can make
+        progress, or None when idleness cannot be proven.
+
+        Called only after a cycle in which nothing committed, issued,
+        dispatched or fetched.  Every ambiguous case returns None — the
+        loop falls back to plain stepping, so correctness never depends
+        on this analysis being complete, only on it being conservative.
+
+        Returns ``(wake, stall_attr, rfp_blocked)``: the jump target, the
+        SimStats dispatch-stall counter that ticks once per elided cycle
+        (or None), and whether the RFP queue head is blocked (its
+        ``blocked_cycles`` counter also ticks per cycle).
+        """
+        if self.rs.replay_debt > 0:
+            return None  # debt drains one issue slot per cycle
+        candidates = []
+        events = self.events
+        if events:
+            when = events[0][0]
+            if when <= cycle:
+                return None  # an event fires next step
+            candidates.append(when)
+        rob_entries = self.rob.entries
+        if rob_entries:
+            head = rob_entries[0]
+            if head.state == D.COMPLETED:
+                if head.complete_cycle <= cycle:
+                    return None  # the head retires next step
+                candidates.append(head.complete_cycle)
+            # A DISPATCHED head is covered by the scheduler scan below.
+
+        # -- scheduler wakeups ------------------------------------------
+        ready_cycle = self.prf.ready_cycle
+        sched_latency = self.config.sched_latency
+        DISPATCHED = D.DISPATCHED
+        for dyn in self.rs.entries:
+            if dyn.state != DISPATCHED:
+                continue
+            wake = dyn.dispatch_cycle + sched_latency
+            pending = False
+            for preg in dyn.src_pregs:
+                ready = ready_cycle[preg]
+                if ready == INFINITY:
+                    # Woken by a producer that is itself in this window
+                    # (or chained to one); the producer's own wake is a
+                    # candidate, so this entry needs no bound of its own.
+                    pending = True
+                    break
+                if ready > wake:
+                    wake = ready
+            if pending:
+                continue
+            if wake <= cycle:
+                # Ready now, yet nothing issued this cycle: in an idle
+                # cycle (all ports/FUs free) only the memory-dependence
+                # gate explains that.  The gating older store's execution
+                # is covered by its own wakeup candidate.
+                if (
+                    dyn.is_load
+                    and self.md.predict_conflict(dyn.pc)
+                    and self.sq.has_older_unexecuted(dyn.seq)
+                ):
+                    continue
+                return None
+            candidates.append(wake)
+
+        # -- frontend ---------------------------------------------------
+        frontend = self.frontend
+        if frontend.blocked_branch_index is None and not frontend.cursor.exhausted:
+            if cycle < frontend.stall_until:
+                candidates.append(frontend.stall_until)
+            elif len(frontend.buffer) < frontend.buffer_capacity:
+                return None  # fetch proceeds next cycle
+            # else: buffer full — unblocks only after dispatch drains it.
+        # A blocked mispredicted branch resolves via a "branch" event,
+        # which is already a candidate.
+
+        # -- dispatch ---------------------------------------------------
+        stall_attr = None
+        if frontend.buffer:
+            ready_at, instr = frontend.buffer[0]
+            if ready_at > cycle:
+                candidates.append(ready_at)
+            elif self.rob.full:
+                stall_attr = "stall_rob"
+            elif self.rs.full:
+                stall_attr = "stall_rs"
+            elif instr.is_load and self.lq.full:
+                stall_attr = "stall_lq"
+            elif instr.is_store and self.sq.full(cycle):
+                stall_attr = "stall_sq"
+                if self.sq.senior:
+                    # A senior store releasing its slot unblocks dispatch.
+                    candidates.append(min(self.sq.senior))
+            elif instr.dst is not None and not self.rename.free_list:
+                stall_attr = "stall_prf"
+            else:
+                return None  # dispatch succeeds next cycle
+
+        # -- RFP queue head ---------------------------------------------
+        rfp = self.rfp
+        rfp_blocked = False
+        if rfp is not None and rfp.queue:
+            packet = rfp.queue[0]
+            dyn = packet.dyn
+            if dyn.rfp_state != D.RFP_QUEUED or dyn.state != DISPATCHED:
+                return None  # the pump pops the dead head next cycle
+            addr = packet.predicted_addr
+            if self.sq.peek_older_executed_match(dyn.seq, addr & ~7):
+                return None  # the head forward-completes next cycle
+            if self.md.predict_conflict(dyn.pc) and self.sq.has_older_unexecuted(
+                dyn.seq
+            ):
+                rfp_blocked = True
+            elif rfp.rfp_config.drop_on_tlb_miss and not self.hierarchy.dtlb.probe(
+                addr
+            ):
+                return None  # the head is dropped next cycle
+            elif (
+                self.hierarchy.mshr.occupancy
+                >= self.hierarchy.mshr.num_entries - rfp.mshr_reserve
+                and self.hierarchy.probe_level(addr) not in ("L1", "MSHR")
+            ):
+                # MSHR back-pressure: occupancy only changes via another
+                # hierarchy access, none of which can happen before the
+                # wake candidates computed above.
+                rfp_blocked = True
+            elif self.ports.rfp_dedicated_ports > 0 or self.ports.rfp_shares_demand_ports:
+                return None  # the head wins a free port next cycle
+            # else: a port-less RFP shape — the head waits for its load,
+            # whose wake is covered above.  (Only the untracked per-cycle
+            # port-denial counter diverges across the elided window.)
+
+        if not candidates:
+            return None
+        wake = min(candidates)
+        if wake <= cycle:
+            return None
+        return wake, stall_attr, rfp_blocked
 
     def step(self):
         """Advance the pipeline one cycle."""

@@ -99,15 +99,17 @@ class DynInstr(object):
         self.served_level = None
         self.forward_src_seq = None
         self.replays = 0
-        self.is_load = instr.is_load
-        self.is_store = instr.is_store
-        self.is_branch = instr.is_branch
-        self.pc = instr.pc
-        addr = instr.addr
-        self.addr = addr
-        #: 8-byte-aligned address used for store/load matching.
-        self.word_addr = addr & ~7 if addr is not None else None
-        self.fu_class = _fu_class_for(instr.op)
+        snap = instr._static
+        if snap is None:
+            addr = instr.addr
+            # The 8-byte-aligned word_addr is what store/load matching uses.
+            snap = instr._static = (
+                instr.is_load, instr.is_store, instr.is_branch, instr.pc,
+                addr, addr & ~7 if addr is not None else None,
+                _fu_class_for(instr.op),
+            )
+        (self.is_load, self.is_store, self.is_branch, self.pc,
+         self.addr, self.word_addr, self.fu_class) = snap
         self.rfp_state = RFP_NONE
         self.rfp_addr = None
         self.rfp_bit_set_cycle = -1

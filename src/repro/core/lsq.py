@@ -97,6 +97,17 @@ class StoreQueue(object):
             self.forwards += 1
         return best
 
+    def peek_older_executed_match(self, seq, word_addr):
+        """Like :meth:`older_executed_match` but without counting the
+        forward — the idle-skip detector probes whether the RFP queue head
+        *would* forward, and a probe must not perturb statistics."""
+        for store in self.entries:
+            if store.seq >= seq:
+                break
+            if store.state >= 1 and store.word_addr == word_addr:
+                return True
+        return False
+
     def has_older_unexecuted(self, seq):
         """True when any store older than ``seq`` has not yet executed
         (its address is therefore unknown to the pipeline)."""

@@ -94,6 +94,18 @@ class RenameUnit(object):
         self.rat[arch_reg] = previous_preg
         self.free_list.append(new_preg)
 
+    def seed_architectural(self, values):
+        """Install committed architectural register state (the fast-forward
+        handoff): each architectural register's current mapping receives its
+        warmed-up value, ready immediately."""
+        if len(values) != len(self.rat):
+            raise ValueError(
+                "expected %d architectural values, got %d"
+                % (len(self.rat), len(values))
+            )
+        for arch_reg, value in enumerate(values):
+            self.prf.write(self.rat[arch_reg], value, 0)
+
     def architectural_values(self):
         """Read the committed architectural state (for emulator checks).
 

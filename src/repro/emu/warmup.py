@@ -1,0 +1,121 @@
+"""Functional fast-forward warming: the fast half of two-speed simulation.
+
+The measured region of every experiment is reported post-warmup, yet a
+one-speed engine simulates the warmup window through the full cycle-level
+OOO core — an order of magnitude slower than architectural execution.  The
+:class:`FunctionalWarmer` executes the warmup region in order, with
+architectural semantics only (no ROB/RS/LSQ cycle machinery), while warming
+exactly the structures whose state carries into measured-region timing:
+
+- **L1/L2/LLC + DTLB contents** via
+  :meth:`~repro.memory.hierarchy.MemoryHierarchy.warm_load` /
+  :meth:`~repro.memory.hierarchy.MemoryHierarchy.warm_store`, which mirror
+  the detailed fill policy (inclusive inward fills, L2 stride prefetcher,
+  next-line prefetch) without MSHR/DRAM timing state;
+- **hit-miss predictor** counters, trained with the pre-fill presence
+  outcome of each load;
+- **RFP Prefetch Table / PAT**, driven through the same
+  allocate -> commit -> train protocol per load that the detailed core's
+  commit stage uses, so stride/confidence state *and* the probabilistic
+  confidence counter's RNG stream stay aligned with a detailed run over
+  the same region;
+- **memory-dependence predictor** decay (``train_commit``);
+- **branch path history**, the only branch-predictor state the trace-driven
+  frontend keeps.
+
+What is *not* warmed: value-predictor tables (their training consumes
+pipeline events — dispatch-time inflight counters, validation outcomes —
+that do not exist functionally; the runner keeps VP configs full-detail)
+and transient micro-state such as MSHR occupancy or store-queue contents,
+which the detailed ramp re-establishes before measurement begins (see
+``CoreConfig.ff_detail_ramp``).
+
+After :meth:`warm`, the core's committed memory image and architectural
+registers hold the warmed-up state and its fetch cursor points at the
+boundary, so ``core.run()`` simulates only the remaining instructions.
+"""
+
+from repro.core.frontend import PATH_MASK
+from repro.emu.emulator import ArchEmulator
+from repro.isa.opcodes import Op, evaluate
+
+
+class FunctionalWarmer(ArchEmulator):
+    """Warms one :class:`~repro.core.core.OOOCore`'s structures in place.
+
+    The warmer shares the core's committed-memory dict (the core's private
+    copy — never the trace's lru_cache-shared ``memory_image``), so stores
+    executed functionally are visible to detailed-region loads.
+    """
+
+    def __init__(self, core):
+        super().__init__(core.trace)
+        self.core = core
+        self.memory = core.memory
+        #: Instructions functionally executed so far.
+        self.warmed = 0
+
+    def warm(self, count):
+        """Execute and warm the first ``count`` trace instructions, then
+        hand the architectural state to the core.
+
+        Returns self.  The core's fetch cursor is left at ``count``; its
+        rename unit maps the warmed register values; ``core.memory``
+        reflects every store in the region.
+        """
+        core = self.core
+        hit_miss = core.hit_miss
+        rfp = core.rfp
+        pt = rfp.pt if rfp is not None else None
+        context = rfp.context if rfp is not None else None
+        frontend = core.frontend
+        # Local bindings: this loop runs once per fast-forwarded instruction
+        # (the bulk of the trace under the default split), so shave every
+        # attribute lookup and method-wrapper call we can.
+        regs = self.registers.values
+        memory = self.memory
+        memory_get = memory.get
+        loads_append = self.load_values.append
+        stores_append = self.store_values.append
+        warm_load = core.hierarchy.warm_load
+        warm_store = core.hierarchy.warm_store
+        hm_train = hit_miss.train if hit_miss is not None else None
+        md_train = core.md.train_commit
+        LOAD, STORE = Op.LOAD, Op.STORE
+        for instr in self.trace.instructions[: count]:
+            op = instr.op
+            if op == LOAD:
+                addr = instr.addr
+                value = memory_get(addr & ~7, 0)
+                loads_append(value)
+                level = warm_load(addr, instr.pc)
+                if hm_train is not None:
+                    hm_train(instr.pc, level == "L1")
+                md_train(instr.pc)
+                if pt is not None:
+                    pt.on_allocate(instr.pc)
+                    pt.on_commit(instr.pc)
+                    pt.train(instr.pc, addr)
+                    if context is not None:
+                        context.train(instr.pc, frontend.path_history, addr)
+            elif op == STORE:
+                srcs = [regs[r] for r in instr.srcs]
+                value = evaluate(op, srcs, instr.imm)
+                memory[instr.addr & ~7] = value
+                stores_append(value)
+                warm_store(instr.addr)
+            else:
+                srcs = [regs[r] for r in instr.srcs]
+                value = evaluate(op, srcs, instr.imm)
+                if instr.is_branch:
+                    frontend.path_history = (
+                        (frontend.path_history << 1) | (1 if instr.taken else 0)
+                    ) & PATH_MASK
+            if instr.dst is not None:
+                regs[instr.dst] = value
+        self.warmed += min(count, len(self.trace.instructions))
+        core.rename.seed_architectural(
+            [regs[reg] for reg in range(len(core.rename.rat))]
+        )
+        frontend.cursor.rewind(self.warmed)
+        return self

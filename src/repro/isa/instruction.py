@@ -39,6 +39,11 @@ class Instruction(object):
         "taken",
         "mispredicted",
         "index",
+        # Lazily-filled static snapshot (is_load, is_store, is_branch, pc,
+        # addr, word_addr, fu_class) shared by every DynInstr wrapping this
+        # instruction; a pure function of the fields above, so caching it on
+        # the (trace-shared) instruction is idempotent.
+        "_static",
     )
 
     def __init__(
@@ -63,6 +68,7 @@ class Instruction(object):
         self.taken = taken
         self.mispredicted = mispredicted
         self.index = -1
+        self._static = None
 
     @property
     def is_load(self):

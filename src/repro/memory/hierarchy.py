@@ -167,6 +167,62 @@ class MemoryHierarchy(object):
             if not self.llc.contains(pf_line):
                 self.llc.fill(pf_line, is_prefetch=True)
 
+    # ------------------------------------------------------------------
+    # functional warming (fast-forward mode)
+
+    def warm_load(self, addr, pc):
+        """Warm presence state for one demand load, without timing.
+
+        Mirrors :meth:`load`'s fill policy — DTLB fill, inward L1/L2/LLC
+        fills, the L2 stride prefetcher and the next-line prefetch — but
+        performs no MSHR or DRAM bookkeeping, so a fast-forwarded warmup
+        leaves the caches holding the lines a detailed run would have
+        brought in without scheduling any phantom in-flight fills.
+
+        Returns the level that held the line before any fill ("L1", "L2",
+        "LLC" or "DRAM"), which is the hit/miss outcome the hit-miss
+        predictor should be trained with.
+        """
+        self.dtlb.lookup(addr, fill=True)
+        line = self.line_of(addr)
+        if self.l1.lookup(line):
+            return "L1"
+        if self.l2.lookup(line):
+            level = "L2"
+        elif self.llc.lookup(line):
+            level = "LLC"
+        else:
+            level = "DRAM"
+            self.llc.fill(line)
+        if level != "L2":
+            self.l2.fill(line)
+        self.l1.fill(line)
+        if self.l2_prefetcher is not None:
+            self._run_l2_prefetcher(pc, line)
+        if self.l1_next_line:
+            next_line = line + 1
+            if not self.l1.contains(next_line):
+                self.l1.fill(next_line, is_prefetch=True)
+                if not self.l2.contains(next_line):
+                    self.l2.fill(next_line, is_prefetch=True)
+        return level
+
+    def warm_store(self, addr):
+        """Warm presence state for one committed store (no timing).
+
+        Mirrors :meth:`store_commit`: write-allocate into the L1, filling
+        outer levels only on a full miss.
+        """
+        self.dtlb.lookup(addr, fill=True)
+        line = self.line_of(addr)
+        if self.l1.lookup(line):
+            self.l1.mark_dirty(line)
+            return
+        if not self.l2.lookup(line) and not self.llc.lookup(line):
+            self.llc.fill(line)
+            self.l2.fill(line)
+        self.l1.fill(line, dirty=True)
+
     def probe_level(self, addr):
         """Which level would serve ``addr`` right now (no state change)."""
         line = self.line_of(addr)

@@ -23,15 +23,25 @@ import json
 import os
 
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
-from repro.sim.runner import SCHEMA_VERSION, SimResult, simulate
+from repro.sim.runner import (
+    SCHEMA_VERSION,
+    SimResult,
+    fast_forward_env_disabled,
+    simulate,
+)
 
 
 def config_fingerprint(config):
     """Stable hash of the result schema version plus every field of a
-    CoreConfig (incl. nested rfp/vp)."""
+    CoreConfig (incl. nested rfp/vp).
+
+    The ``REPRO_FF`` kill-switch lives outside the config dataclass, yet it
+    changes how results are produced — mix it in so full-detail validation
+    runs and two-speed runs can never share cache entries."""
     payload = {
         "schema": SCHEMA_VERSION,
         "config": dataclasses.asdict(config),
+        "ff_env_disabled": fast_forward_env_disabled(),
     }
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]

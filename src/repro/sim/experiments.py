@@ -5,9 +5,11 @@ Environment knobs (all optional):
 - ``REPRO_WORKLOADS`` — "all" (default) or an integer N to run only the
   first N suite workloads (quick mode).
 - ``REPRO_LENGTH`` — trace length in instructions (default
-  :data:`~repro.sim.defaults.DEFAULT_LENGTH` = 12000).
+  :data:`~repro.sim.defaults.DEFAULT_LENGTH` = 40000).
 - ``REPRO_WARMUP`` — warmup instructions excluded from measurement
-  (default :data:`~repro.sim.defaults.DEFAULT_WARMUP` = 2000).
+  (default :data:`~repro.sim.defaults.DEFAULT_WARMUP` = 20000; the
+  warmup region runs through the functional fast-forward engine unless
+  ``--no-ff`` / ``REPRO_FF=0``).
 - ``REPRO_JOBS`` — worker processes for suite runs (default
   ``os.cpu_count()``; 1 forces fully serial execution).
 - ``REPRO_PROGRESS`` — stream per-job progress lines to stderr.

@@ -43,6 +43,7 @@ from repro.obs.export import sort_events, write_jsonl
 from repro.obs.tracer import trace_spec_from_env
 from repro.sim.cache import default_cache
 from repro.sim.runner import SimResult, simulate
+from repro.workloads.suite import build_workload
 
 
 class WorkerError(RuntimeError):
@@ -255,6 +256,24 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
         for index, (key, job) in enumerate(pending.items())
     ]
     workers = max(1, min(max_workers, len(misses)))
+    if workers > 1 and start_method() == "fork":
+        # Trace reuse across configs: a matrix run names each workload once
+        # per config, but the trace depends only on (workload, length).
+        # Building every unique trace in the parent *before* the fork lets
+        # all workers inherit the populated build_workload lru_cache via
+        # copy-on-write pages instead of regenerating it per job.
+        unique = {
+            (job[0], job[2]) for _, job, _ in misses
+            if isinstance(job[0], str)
+        }
+        for name, length in sorted(unique):
+            try:
+                build_workload(name, length=length)
+            except Exception:
+                # Best-effort warm-up only: an invalid job must fail inside
+                # its worker, where it is wrapped in a WorkerError naming
+                # the (workload, config) that died.
+                pass
     try:
         if workers == 1:
             # In-process path: no pool start-up cost, identical results.

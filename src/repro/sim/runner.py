@@ -1,13 +1,27 @@
 """Single-simulation runner producing a serialisable :class:`SimResult`.
 
-Measurement protocol: the core runs the whole trace; counters are
-snapshotted when ``warmup`` instructions have committed, and the reported
-("measured") numbers are deltas over the post-warmup window — predictors
-and caches are warm, matching how architecture papers measure region IPC.
+Measurement protocol: counters are snapshotted when ``warmup`` instructions
+have committed, and the reported ("measured") numbers are deltas over the
+post-warmup window — predictors and caches are warm, matching how
+architecture papers measure region IPC.
+
+Two-speed execution (sampled simulation): when ``config.fast_forward`` is
+on, most of the warmup window is executed by the in-order
+:class:`~repro.emu.warmup.FunctionalWarmer` (which warms caches, TLB,
+hit-miss predictor, RFP tables and the memory-dependence predictor), the
+detailed core re-simulates the last ``config.ff_detail_ramp`` warmup
+instructions to refill the pipeline, and only then does measurement start —
+at exactly the same instruction count as a full-detail run.  Fast-forward
+is disabled under tracing (``REPRO_TRACE`` / an explicit tracer), for
+``record_commits`` runs, for value-predictor configs (VP tables train on
+pipeline events the warmer does not model), and by ``REPRO_FF=0``.
 """
+
+import os
 
 from repro.core.config import baseline
 from repro.core.core import OOOCore
+from repro.emu.warmup import FunctionalWarmer
 from repro.obs.export import sort_events, write_jsonl
 from repro.obs.tracer import trace_spec_from_env
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
@@ -17,7 +31,38 @@ from repro.workloads.suite import build_workload, workload_category
 #: fingerprint.  Bump this whenever :class:`SimResult` gains/changes fields
 #: or the core's timing semantics change, so stale on-disk results from an
 #: older simulator become cache misses instead of wrong answers.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+
+def fast_forward_env_disabled(environ=None):
+    """True when ``REPRO_FF`` explicitly disables fast-forward.
+
+    The env knob is a kill-switch for validation runs (like ``--no-ff``);
+    it is mixed into the result-cache fingerprint so a run with the switch
+    thrown can never poison fast-forward cache entries.
+    """
+    environ = environ if environ is not None else os.environ
+    return environ.get("REPRO_FF", "") in ("0", "off", "false")
+
+
+def fast_forward_split(config, trace_length, warmup):
+    """Resolve the two-speed split for one run.
+
+    Returns ``(functional, detailed_warmup)``: instructions executed by the
+    functional warmer, and warmup instructions the detailed core simulates
+    before measurement starts.  ``functional + detailed_warmup`` always
+    equals the effective warmup window (``warmup`` clamped to half the
+    trace), so the measured region is the same instructions either way.
+    """
+    effective = min(warmup, max(0, trace_length // 2))
+    if (
+        not config.fast_forward
+        or config.vp.enabled
+        or fast_forward_env_disabled()
+    ):
+        return 0, effective
+    detailed = min(config.ff_detail_ramp, effective)
+    return effective - detailed, detailed
 
 
 class SimResult(object):
@@ -29,6 +74,18 @@ class SimResult(object):
     @classmethod
     def from_core(cls, core, workload_name, category):
         final = core.snapshot_counters()
+        if core.warmup_instructions and core.warmup_snapshot is None:
+            raise RuntimeError(
+                "empty measurement window: warmup=%d but only %d instructions "
+                "committed for workload %r under config %r — lower warmup or "
+                "lengthen the trace"
+                % (
+                    core.warmup_instructions,
+                    final["stats"]["instructions"],
+                    workload_name,
+                    core.config.name,
+                )
+            )
         start = core.warmup_snapshot or {
             "cycle": 0,
             "stats": {k: 0 for k in final["stats"]},
@@ -56,6 +113,21 @@ class SimResult(object):
             "total_cycles": final["cycle"],
             "total_instructions": final["stats"]["instructions"],
         }
+        if core.warmup_instructions and (
+            cycles <= 0 or stats["instructions"] <= 0
+        ):
+            raise RuntimeError(
+                "empty measurement window: warmup=%d left %d instructions / "
+                "%d cycles to measure for workload %r under config %r — "
+                "lower warmup or lengthen the trace"
+                % (
+                    core.warmup_instructions,
+                    stats["instructions"],
+                    cycles,
+                    workload_name,
+                    core.config.name,
+                )
+            )
         if "rfp" in final:
             rfp_start = start.get("rfp", {})
             data["rfp"] = {
@@ -155,9 +227,21 @@ def simulate(
         if env_spec is not None:
             tracer = env_spec.build_tracer()
     core = OOOCore(trace, config, record_commits=record_commits, tracer=tracer)
-    core.warmup_instructions = min(warmup, max(0, len(trace) // 2))
+    functional, detailed_warmup = fast_forward_split(config, len(trace), warmup)
+    if record_commits or tracer is not None:
+        # Commit logs and event traces must cover the whole trace.
+        functional, detailed_warmup = 0, min(warmup, max(0, len(trace) // 2))
+    if functional > 0:
+        FunctionalWarmer(core).warm(functional)
+    core.warmup_instructions = detailed_warmup
     core.run(max_cycles=max_cycles)
     result = SimResult.from_core(core, name, category)
+    result.data["fast_forward"] = {
+        "enabled": functional > 0,
+        "functional_instructions": functional,
+        "detailed_warmup": detailed_warmup,
+    }
+    result.data["idle_skipped_cycles"] = core.idle_cycles_skipped
     if record_commits:
         result.data["committed"] = core.committed
     if tracer is not None:

@@ -198,9 +198,15 @@ def profile_for(name, length=20000):
     )
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=96)
 def build_workload(name, length=20000):
-    """Generate (and memoise) the trace for a suite workload."""
+    """Generate (and memoise) the trace for a suite workload.
+
+    The cache is sized to hold the full 65-workload suite (plus headroom
+    for ad-hoc lengths) so a multi-config matrix run builds each trace
+    once, not once per config; :func:`repro.sim.parallel.run_jobs`
+    pre-populates it in the parent before forking workers.
+    """
     return generate_trace(profile_for(name, length=length))
 
 
