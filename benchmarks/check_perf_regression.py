@@ -8,12 +8,16 @@ Usage::
 
 The check is one-sided: a run is a regression only when a metric falls
 below ``reference * (1 - tolerance)``; being faster than the reference
-never fails.  Two metrics are gated:
+never fails.  Gated metrics:
 
 - ``serial.instructions_per_second`` — the single-process fast path;
 - ``two_speed.wallclock_speedup`` — the fast-forward engine's edge over
   full-detail simulation (a same-machine ratio, so it transfers across
-  hardware much better than the absolute figure does).
+  hardware much better than the absolute figure does);
+- ``event_loop.instructions_per_second`` — the event-driven scheduler's
+  serial throughput (absolute, machine-dependent);
+- ``event_loop.speedup_vs_legacy`` — the event engine vs the legacy
+  polled scheduler on the same machine and traces (a ratio; transfers).
 
 The default tolerance is deliberately wide (25%): the committed
 reference comes from the development machine, and hosted CI runners are
@@ -35,6 +39,11 @@ DEFAULT_TOLERANCE = 0.25
 GATED_METRICS = [
     (("serial", "instructions_per_second"), "serial instr/s"),
     (("two_speed", "wallclock_speedup"), "two-speed wall-clock ratio"),
+    (("event_loop", "instructions_per_second"), "event-loop serial instr/s"),
+    # Same-machine ratio (event engine vs the legacy polled scheduler on
+    # identical traces), so it transfers across hardware like the
+    # two-speed ratio does.
+    (("event_loop", "speedup_vs_legacy"), "event-loop speedup vs legacy"),
 ]
 
 

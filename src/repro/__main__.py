@@ -42,8 +42,23 @@ def _config_from_args(args):
 
 def cmd_run(args):
     config = _config_from_args(args)
-    result = simulate(args.workload, config, length=args.length,
-                      warmup=args.warmup)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = simulate(args.workload, config, length=args.length,
+                          warmup=args.warmup)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(args.profile_limit)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print("profile -> %s" % args.profile_out, file=sys.stderr)
+    else:
+        result = simulate(args.workload, config, length=args.length,
+                          warmup=args.warmup)
     rows = [
         ("workload", result.workload),
         ("category", result.category),
@@ -201,6 +216,15 @@ def build_parser():
 
     run_parser = sub.add_parser("run", help="simulate one workload")
     run_parser.add_argument("workload")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="run under cProfile and print a "
+                                 "cumulative-time report to stderr")
+    run_parser.add_argument("--profile-limit", type=int, default=30,
+                            metavar="N",
+                            help="rows in the --profile report (default 30)")
+    run_parser.add_argument("--profile-out", default=None, metavar="FILE",
+                            help="also dump raw --profile stats to FILE "
+                                 "(snakeviz/pstats compatible)")
     add_sim_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 

@@ -20,6 +20,8 @@ the paper describes):
 """
 
 import heapq
+import os
+from bisect import bisect_left, insort
 
 from repro.core import dyninstr as D
 from repro.core.dyninstr import DynInstr
@@ -29,13 +31,26 @@ from repro.core.lsq import LoadQueue, MemDepPredictor, StoreQueue
 from repro.core.rename import INFINITY, PhysicalRegisterFile, RenameUnit
 from repro.core.rob import ReorderBuffer
 from repro.core.scheduler import ReservationStation
-from repro.isa.opcodes import OP_LATENCY, evaluate
+from repro.core.wheel import TimingWheel
 from repro.isa.registers import NUM_ARCH_REGS
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.ports import LoadPortArbiter
 from repro.rfp.engine import RFPEngine
 from repro.stats.counters import SimStats
 from repro.vp import build_predictor
+
+
+def event_loop_env_disabled(environ=None):
+    """True when ``REPRO_EVENT_LOOP`` selects the legacy polled loop.
+
+    The event-driven scheduler is bit-exact with the polled scan, so this
+    kill-switch exists for one release as a validation lever (the
+    ``tests/test_event_driven.py`` harness and the CI equality job compare
+    the two).  It is mixed into the result-cache fingerprint so runs under
+    either engine never share cache entries.
+    """
+    environ = environ if environ is not None else os.environ
+    return environ.get("REPRO_EVENT_LOOP", "") in ("0", "off", "false")
 
 
 class OOOCore(object):
@@ -55,7 +70,14 @@ class OOOCore(object):
         self.prf = PhysicalRegisterFile(config.prf_entries)
         self.rename = RenameUnit(NUM_ARCH_REGS, self.prf)
         self.rob = ReorderBuffer(config.rob_entries)
-        self.rs = ReservationStation(config, self.prf)
+        #: Scheduling engine: event-driven wakeup by default, the legacy
+        #: polled scan under ``REPRO_EVENT_LOOP=0`` (bit-exact either way).
+        self.event_loop = not event_loop_env_disabled()
+        self.rs = ReservationStation(config, self.prf,
+                                     event_driven=self.event_loop)
+        #: Per-cycle select entry point, bound once (``rs.select`` would
+        #: re-check the engine flag every cycle).
+        self._select = self.rs._select_event if self.event_loop else self.rs.select
         self.lq = LoadQueue(config.lq_entries)
         self.sq = StoreQueue(config.sq_entries)
         self.md = MemDepPredictor()
@@ -87,8 +109,9 @@ class OOOCore(object):
         self.stats = SimStats()
         self.cycle = 0
         self.next_seq = 0
-        self.events = []
-        self._event_tiebreak = 0
+        #: Timed pipeline events (branch resolutions, VP flushes), keyed by
+        #: fire cycle; same-cycle events fire in schedule order.
+        self.events = TimingWheel()
         self.preg_producer = {}
         self.warmup_instructions = 0
         self.warmup_snapshot = None
@@ -97,6 +120,26 @@ class OOOCore(object):
         self.idle_cycles_skipped = 0
         self.record_commits = record_commits
         self.committed = []
+        #: Invariant locals of the per-cycle dispatch/commit loops, packed
+        #: once: every container here is mutated in place for the core's
+        #: lifetime, never rebound (``rs.entries`` and ``sq.senior`` are
+        #: rebound by compaction/drain, so they are re-read per call).
+        self._dispatch_inv = (
+            self.stats, self.rob.entries, self.rob.num_entries, self.rs,
+            self.event_loop, self.rs._rs_entries, self.rs._min_delay,
+            self.rs.ready, self.rs.wheel.slots, self.rs.wheel.cycles,
+            self.rename.rat, self.rename.free_list, self.prf.ready_cycle,
+            self.prf.value, self.prf.waiters, self.prf, self.lq.entries,
+            self.lq.num_entries, self.sq, self.rfp, self.vp, self.hit_miss,
+            self.preg_producer, self.tracer, config.rename_width,
+            heapq.heappush,
+        )
+        self._commit_inv = (
+            self.stats, self.rob.entries, config.retire_width, self.vp,
+            self.rfp, self.tracer, self.rename.free_list,
+            self.preg_producer, record_commits, self.lq, self.md,
+            self.frontend, self.memory, self.hierarchy,
+        )
 
     # ==================================================================
     # driving
@@ -111,16 +154,28 @@ class OOOCore(object):
         # Idle-cycle skipping is counter-exact but invisible to the event
         # stream, so tracing forces full stepping.
         idle_skip = self.config.idle_skip and self.tracer is None
-        while not (frontend.drained and not rob_entries):
+        # ``frontend.drained`` chains two properties; this loop tests it
+        # every cycle, so read the cursor/buffer internals directly (both
+        # objects are mutated in place, never rebound).
+        cursor = frontend.cursor
+        fetch_buffer = frontend.buffer
+        while cursor.index < cursor._length or fetch_buffer or rob_entries:
             if self.cycle > limit:
                 head = rob_entries[0] if rob_entries else None
+                # The wheels distinguish a stalled-event bug (an event is
+                # scheduled but the loop never reaches it) from a true
+                # scheduling deadlock (nothing is pending at all).
+                pending = [self.events.next_cycle(), self.rs.wheel.next_cycle()]
+                pending = [c for c in pending if c is not None]
                 raise RuntimeError(
                     "simulation of workload %r under config %r exceeded "
                     "%d cycles at trace index %d (ROB head seq=%s; "
-                    "likely deadlock)"
+                    "timing wheel %s; likely deadlock)"
                     % (self.trace.name, self.config.name, limit,
                        frontend.cursor.index,
-                       head.seq if head is not None else "<empty>")
+                       head.seq if head is not None else "<empty>",
+                       "next event at cycle %d" % min(pending)
+                       if pending else "empty")
                 )
             if not idle_skip:
                 step()
@@ -175,9 +230,9 @@ class OOOCore(object):
         if self.rs.replay_debt > 0:
             return None  # debt drains one issue slot per cycle
         candidates = []
-        events = self.events
-        if events:
-            when = events[0][0]
+        event_cycles = self.events.cycles
+        if event_cycles:
+            when = event_cycles[0]
             if when <= cycle:
                 return None  # an event fires next step
             candidates.append(when)
@@ -194,8 +249,23 @@ class OOOCore(object):
         ready_cycle = self.prf.ready_cycle
         sched_latency = self.config.sched_latency
         DISPATCHED = D.DISPATCHED
-        for dyn in self.rs.entries:
-            if dyn.state != DISPATCHED:
+        rs = self.rs
+        if rs.event_driven:
+            # The scheduler's own timing wheel holds every entry with a
+            # known future wake; a slot is a lower bound on the true wake
+            # (a re-timed producer re-parks the entry on pop), so jumping
+            # to it is conservative — at worst the loop re-skips from
+            # there.  Waiting entries (producer still executing) need no
+            # bound of their own: the producer's wake covers them.  Only
+            # the ready heap — entries parked as issuable — needs the
+            # per-entry analysis the polled loop ran over the window.
+            if rs.wheel.cycles:
+                candidates.append(rs.wheel.cycles[0])
+            pool = [item[1] for item in rs.ready]
+        else:
+            pool = rs.entries
+        for dyn in pool:
+            if dyn.state != DISPATCHED or not dyn.in_rs:
                 continue
             wake = dyn.dispatch_cycle + sched_latency
             pending = False
@@ -304,13 +374,20 @@ class OOOCore(object):
         cycle = self.cycle
         if self.tracer is not None:
             self.tracer.now = cycle
-        self.ports.begin_cycle(cycle)
-        if self.events:
+        # -- ports.begin_cycle (inlined: runs every cycle) -------------
+        ports = self.ports
+        ports._cycle = cycle
+        ports._demand_used = 0
+        ports._rfp_dedicated_used = 0
+        ports._rfp_shared_used = 0
+        events = self.events
+        if events.cycles and events.cycles[0] <= cycle:
             self._process_events(cycle)
         self._commit(cycle)
-        self.rs.select(cycle, self._try_issue)
-        if self.rfp is not None:
-            self.rfp.step(cycle)
+        self._select(cycle, self._try_issue)
+        rfp = self.rfp
+        if rfp is not None and rfp.queue:
+            rfp.step(cycle)
         self._dispatch(cycle)
         if self.vp is not None:
             self.frontend.fetch(cycle, self._fetch_hook)
@@ -327,13 +404,10 @@ class OOOCore(object):
     # events
 
     def _schedule_event(self, cycle, kind, dyn):
-        self._event_tiebreak += 1
-        heapq.heappush(self.events, (cycle, self._event_tiebreak, kind, dyn))
+        self.events.schedule(cycle, (kind, dyn))
 
     def _process_events(self, cycle):
-        events = self.events
-        while events and events[0][0] <= cycle:
-            _, _, kind, dyn = heapq.heappop(events)
+        for kind, dyn in self.events.pop_due(cycle):
             if dyn.state == D.SQUASHED:
                 continue
             if kind == "branch":
@@ -347,155 +421,254 @@ class OOOCore(object):
     # commit
 
     def _commit(self, cycle):
-        self.sq.drain(cycle)
-        retired = 0
-        stats = self.stats
+        """Retire up to ``retire_width`` completed instructions.
+
+        Per-instruction bookkeeping (the old ``_commit_one``) is inlined
+        into the retire loop — commit runs once per committed instruction,
+        so the shared locals are hoisted out of it, and the hoists
+        themselves are skipped entirely on cycles with nothing to retire.
+        """
+        sq = self.sq
+        if sq.senior:
+            # -- sq.drain ----------------------------------------------
+            sq.senior = [t for t in sq.senior if t > cycle]
         rob_entries = self.rob.entries
-        retire_width = self.config.retire_width
+        if not rob_entries:
+            return 0
+        head = rob_entries[0]
+        if head.state != D.COMPLETED or head.complete_cycle > cycle:
+            return 0
+        retired = 0
+        (stats, _rob_entries, retire_width, vp, rfp, tracer, free_list,
+         preg_producer, record_commits, lq, md, frontend, memory,
+         hierarchy) = self._commit_inv
+        COMPLETED = D.COMPLETED
         while retired < retire_width:
             head = rob_entries[0] if rob_entries else None
-            if head is None or head.state != D.COMPLETED or head.complete_cycle > cycle:
+            if head is None or head.state != COMPLETED or head.complete_cycle > cycle:
                 break
             if (
                 head.is_load
                 and head.vp_predicted
-                and self.vp is not None
+                and vp is not None
                 and head.vp_probe_value != "ssbf-done"
             ):
                 # EPP-style retirement re-execution check (one-shot).
                 head.vp_probe_value = "ssbf-done"
-                penalty = self.vp.retire_reexecute_penalty(head)
+                penalty = vp.retire_reexecute_penalty(head)
                 if penalty:
                     stats.retire_reexecutions += 1
                     head.complete_cycle = cycle + penalty
                     break
             rob_entries.popleft()
-            self._commit_one(head, cycle)
+            dyn = head
+            stats.instructions += 1
+            instr = dyn.instr
+            if tracer is not None:
+                tracer.commit(cycle, dyn)
+            dest_preg = dyn.dest_preg
+            if dest_preg is not None:
+                # -- rename.commit_free --------------------------------
+                free_list.append(dyn.prev_preg)
+                if preg_producer.get(dest_preg) is dyn:
+                    del preg_producer[dest_preg]
+            if dyn.is_load:
+                stats.loads += 1
+                # -- lq.remove (incl. _index_drop) ---------------------
+                lq.entries.remove(dyn)
+                dyn.in_lq = False
+                lst = lq._executed.get(dyn.word_addr)
+                if lst:
+                    i = bisect_left(lst, (dyn.seq,))
+                    if i < len(lst) and lst[i][1] is dyn:
+                        del lst[i]
+                        if not lst:
+                            del lq._executed[dyn.word_addr]
+                # -- md.train_commit -----------------------------------
+                tick = md._commit_tick + 1
+                md._commit_tick = tick
+                if tick % md.decay_period == 0:
+                    index = (dyn.pc >> 2) % md.num_entries
+                    if md.table[index] > 0:
+                        md.table[index] -= 1
+                path = frontend.path_history
+                if rfp is not None:
+                    rfp.on_load_commit(dyn, path)
+                if vp is not None:
+                    vp.on_load_commit(dyn, path)
+                if record_commits:
+                    self.committed.append((instr.index, dyn.value))
+            elif dyn.is_store:
+                stats.stores += 1
+                memory[dyn.word_addr] = dyn.value
+                release = hierarchy.store_commit(dyn.addr, cycle)
+                sq.mark_senior(dyn, release)
+            else:
+                if dyn.is_branch:
+                    stats.branches += 1
+                    if instr.mispredicted:
+                        stats.branch_mispredicts += 1
+                if record_commits and dest_preg is not None:
+                    self.committed.append((instr.index, dyn.value))
+            if (
+                self.warmup_instructions
+                and stats.instructions == self.warmup_instructions
+            ):
+                self.warmup_snapshot = self.snapshot_counters()
             retired += 1
         return retired
-
-    def _commit_one(self, dyn, cycle):
-        stats = self.stats
-        stats.instructions += 1
-        instr = dyn.instr
-        if self.tracer is not None:
-            self.tracer.commit(cycle, dyn)
-        if dyn.dest_preg is not None:
-            self.rename.commit_free(dyn.prev_preg)
-            if self.preg_producer.get(dyn.dest_preg) is dyn:
-                del self.preg_producer[dyn.dest_preg]
-        if dyn.is_load:
-            stats.loads += 1
-            self.lq.remove(dyn)
-            self.md.train_commit(dyn.pc)
-            path = self.frontend.path_history
-            if self.rfp is not None:
-                self.rfp.on_load_commit(dyn, path)
-            if self.vp is not None:
-                self.vp.on_load_commit(dyn, path)
-            if self.record_commits:
-                self.committed.append((instr.index, dyn.value))
-        elif dyn.is_store:
-            stats.stores += 1
-            self.memory[dyn.word_addr] = dyn.value
-            release = self.hierarchy.store_commit(dyn.addr, cycle)
-            self.sq.mark_senior(dyn, release)
-        else:
-            if dyn.is_branch:
-                stats.branches += 1
-                if instr.mispredicted:
-                    stats.branch_mispredicts += 1
-            if self.record_commits and dyn.dest_preg is not None:
-                self.committed.append((instr.index, dyn.value))
-        if (
-            self.warmup_instructions
-            and stats.instructions == self.warmup_instructions
-        ):
-            self.warmup_snapshot = self.snapshot_counters()
 
     # ==================================================================
     # dispatch (rename + allocate + RFP injection + VP prediction)
 
     def _dispatch(self, cycle):
-        config = self.config
-        stats = self.stats
+        """Rename + allocate up to ``rename_width`` instructions.
+
+        This is the hottest per-instruction loop in the simulator, so the
+        single-step helpers it used to call (``frontend.head_ready``,
+        ``rename.rename_sources``/``allocate_dest``, ``rob.allocate``,
+        ``rs.allocate`` and the scheduler's initial ``_evaluate`` parking)
+        are inlined here verbatim; each inline site names the method it
+        mirrors.  The local hoists below only pay off when something can
+        actually dispatch, so empty/stalled-buffer cycles bail first.
+        """
         frontend = self.frontend
-        rob = self.rob
-        rs = self.rs
-        rename = self.rename
-        tracer = self.tracer
+        buffer = frontend.buffer
+        if not buffer or buffer[0][0] > cycle:
+            return 0
+        (stats, rob_entries, rob_capacity, rs, event_rs, rs_capacity,
+         min_delay, rs_ready, wheel_slots, wheel_cycles, rat, free_list,
+         ready_cycle, prf_value, waiters, prf, lq_entries, lq_capacity,
+         sq, rfp, vp, hit_miss, preg_producer, tracer, width,
+         heappush) = self._dispatch_inv
+        rs_entries = rs.entries
+        rs_now = rs.now
+        seq = self.next_seq
         dispatched = 0
-        while dispatched < config.rename_width:
-            instr = frontend.head_ready(cycle)
-            if instr is None:
+        while dispatched < width:
+            # -- frontend.head_ready -----------------------------------
+            if not buffer:
                 break
-            if rob.full:
+            ready_at, instr = buffer[0]
+            if ready_at > cycle:
+                break
+            if len(rob_entries) >= rob_capacity:
                 stats.stall_rob += 1
                 break
-            if rs.full:
+            if (rs.live if event_rs else len(rs_entries)) >= rs_capacity:
                 stats.stall_rs += 1
                 break
             is_load = instr.is_load
             is_store = instr.is_store
-            if is_load and self.lq.full:
+            if is_load and len(lq_entries) >= lq_capacity:
                 stats.stall_lq += 1
                 break
-            if is_store and self.sq.full(cycle):
+            if is_store and sq.full(cycle):
                 stats.stall_sq += 1
                 break
-            if instr.dst is not None and not rename.free_list:
+            dst = instr.dst
+            if dst is not None and not free_list:
                 stats.stall_prf += 1
                 break
-            frontend.pop()
-            dyn = DynInstr(instr, self.next_seq, cycle)
-            self.next_seq += 1
-            dyn.src_pregs = rename.rename_sources(instr.srcs)
-            if instr.dst is not None:
-                dyn.dest_preg, dyn.prev_preg = rename.allocate_dest(instr.dst)
-            rob.allocate(dyn)
-            rs.allocate(dyn)
-            if self.rfp is not None and (is_load or instr.is_branch):
+            buffer.popleft()
+            dyn = DynInstr(instr, seq, cycle)
+            seq += 1
+            # -- rename.rename_sources ---------------------------------
+            asrcs = instr.srcs
+            n = len(asrcs)
+            if n == 2:
+                src_pregs = (rat[asrcs[0]], rat[asrcs[1]])
+            elif n == 1:
+                src_pregs = (rat[asrcs[0]],)
+            elif n == 0:
+                src_pregs = ()
+            else:
+                src_pregs = tuple(rat[r] for r in asrcs)
+            dyn.src_pregs = src_pregs
+            # -- rename.allocate_dest (incl. prf.mark_pending) ---------
+            if dst is not None:
+                new_preg = free_list.pop()
+                dyn.dest_preg = new_preg
+                dyn.prev_preg = rat[dst]
+                rat[dst] = new_preg
+                ready_cycle[new_preg] = INFINITY
+                prf_value[new_preg] = 0
+                if waiters is not None and waiters[new_preg]:
+                    waiters[new_preg] = []
+            # -- rob.allocate ------------------------------------------
+            if tracer is not None:
+                tracer.sample_rob(len(rob_entries))
+            rob_entries.append(dyn)
+            # -- rs.allocate (incl. the initial _evaluate parking) -----
+            dyn.in_rs = True
+            rs_entries.append(dyn)
+            if event_rs:
+                rs.live += 1
+                wake = cycle + min_delay
+                parked = False
+                for preg in src_pregs:
+                    when = ready_cycle[preg]
+                    if when > wake:
+                        if when == INFINITY:
+                            waiters[preg].append(dyn)
+                            parked = True
+                            break
+                        wake = when
+                if not parked:
+                    if wake <= rs_now:
+                        heappush(rs_ready, (dyn.seq, dyn))
+                    else:
+                        slot = wheel_slots.get(wake)
+                        if slot is not None:
+                            slot.append(dyn)
+                        else:
+                            wheel_slots[wake] = [dyn]
+                            heappush(wheel_cycles, wake)
+            if rfp is not None and (is_load or instr.is_branch):
                 # Criticality extension: remember load PCs feeding address
                 # computations or branch conditions.
-                for preg in dyn.src_pregs:
-                    producer = self.preg_producer.get(preg)
+                for preg in src_pregs:
+                    producer = preg_producer.get(preg)
                     if producer is not None and producer.is_load:
-                        self.rfp.mark_critical(producer.pc)
+                        rfp.mark_critical(producer.pc)
             if is_load:
-                self.lq.allocate(dyn)
+                # -- lq.allocate ---------------------------------------
+                dyn.in_lq = True
+                lq_entries.append(dyn)
                 predicted = False
                 # Focused-VP-style gating: only value-predict loads expected
                 # to hit the L1.  A predicted miss gains nothing at commit
                 # (the validation access still bounds retirement) while its
                 # early-woken dependents reorder the miss stream against
                 # the ROB head.
-                if self.vp is not None:
+                if vp is not None:
                     # The hook always runs (it maintains per-PC inflight
                     # counters); the gate only discards the prediction.
-                    predicted, value = self.vp.on_load_dispatch(
-                        dyn, cycle, self.frontend.path_history
+                    predicted, value = vp.on_load_dispatch(
+                        dyn, cycle, frontend.path_history
                     )
-                    if predicted and self.hit_miss is not None \
-                            and not self.hit_miss.probe(instr.pc):
+                    if predicted and hit_miss is not None \
+                            and not hit_miss.probe(instr.pc):
                         predicted = False
                     if predicted:
                         dyn.vp_predicted = True
                         dyn.vp_value = value
                         # Dependents may consume the prediction next cycle.
-                        self.prf.write(dyn.dest_preg, value, cycle + 1)
-                if self.rfp is not None:
-                    self.rfp.on_load_dispatch(
-                        dyn, cycle, self.frontend.path_history, inject=not predicted
+                        prf.write(dyn.dest_preg, value, cycle + 1)
+                if rfp is not None:
+                    rfp.on_load_dispatch(
+                        dyn, cycle, frontend.path_history, inject=not predicted
                     )
             elif is_store:
-                self.sq.allocate(dyn)
-            if dyn.dest_preg is not None:
-                self.preg_producer[dyn.dest_preg] = dyn
+                sq.allocate(dyn)
+            if dst is not None:
+                preg_producer[dyn.dest_preg] = dyn
             if tracer is not None:
                 # Emitted after the VP/RFP dispatch hooks so the event
                 # payload reflects the final dispatch-time state.
                 tracer.dispatch(cycle, dyn)
             dispatched += 1
+        self.next_seq = seq
         return dispatched
 
     # ==================================================================
@@ -506,14 +679,43 @@ class OOOCore(object):
             return self._issue_load(dyn, cycle)
         if dyn.is_store:
             return self._issue_store(dyn, cycle)
+        # ALU/branch path: operand reads and :meth:`_finish` are inlined
+        # (this runs once per non-memory instruction).
         instr = dyn.instr
-        prf_value = self.prf.value
-        srcs = tuple(prf_value[p] for p in dyn.src_pregs)
-        value = evaluate(instr.op, srcs, instr.imm)
-        complete = cycle + OP_LATENCY[instr.op]
-        self._finish(dyn, cycle, complete, value)
+        prf = self.prf
+        prf_value = prf.value
+        src_pregs = dyn.src_pregs
+        n = len(src_pregs)
+        if n == 2:
+            srcs = (prf_value[src_pregs[0]], prf_value[src_pregs[1]])
+        elif n == 1:
+            srcs = (prf_value[src_pregs[0]],)
+        elif n == 0:
+            srcs = ()
+        else:
+            srcs = tuple(prf_value[p] for p in src_pregs)
+        value = dyn.evaluator(srcs, instr.imm)
+        complete = cycle + dyn.latency
+        # -- _finish ---------------------------------------------------
+        dyn.state = D.COMPLETED
+        dyn.issue_cycle = cycle
+        dyn.complete_cycle = complete
+        dyn.value = value
+        preg = dyn.dest_preg
+        if preg is not None:
+            prf_value[preg] = value
+            prf.ready_cycle[preg] = complete
+            waiters = prf.waiters
+            if waiters is not None:
+                woken = waiters[preg]
+                if woken:
+                    waiters[preg] = []
+                    self.rs.wake_consumers(woken)
+        self.stats.issued += 1
+        if self.tracer is not None:
+            self.tracer.complete(dyn, cycle, complete)
         if dyn.is_branch and instr.mispredicted:
-            self._schedule_event(complete, "branch", dyn)
+            self.events.schedule(complete, ("branch", dyn))
         return True
 
     def _resolve_load_value(self, dyn, store):
@@ -522,14 +724,33 @@ class OOOCore(object):
         return self.memory.get(dyn.word_addr, 0)
 
     def _issue_load(self, dyn, cycle):
-        config = self.config
-        # Memory-dependence gate: a predicted-conflicting load waits until
-        # every older store has computed its address.
-        if self.md.predict_conflict(dyn.pc) and self.sq.has_older_unexecuted(dyn.seq):
+        """Issue one demand load.
+
+        Loads are the biggest slice of the dispatched mix, so the helpers
+        on the common path (memory-dependence gate, store-forward probe,
+        port claim, hit-miss predict/train, and the DTLB-hit/L1-hit
+        hierarchy access) are inlined; each block names the method it
+        mirrors.  Uncommon shapes (TLB miss, L1 miss, in-flight MSHR
+        fills) fall back to the full :meth:`MemoryHierarchy.load`.
+        """
+        pc = dyn.pc
+        sq = self.sq
+        # -- md.predict_conflict + memory-dependence gate --------------
+        md = self.md
+        if md.table[(pc >> 2) % md.num_entries] >= 2 and sq.has_older_unexecuted(
+            dyn.seq
+        ):
             dyn.md_waited = True
             return False
         word = dyn.word_addr
-        store = self.sq.older_executed_match(dyn.seq, word)
+        # -- sq.older_executed_match -----------------------------------
+        store = None
+        lst = sq._executed.get(word)
+        if lst:
+            i = bisect_left(lst, (dyn.seq,)) - 1
+            if i >= 0:
+                store = lst[i][1]
+                sq.forwards += 1
 
         # ---- RFP fast path --------------------------------------------
         rfp = self.rfp
@@ -585,8 +806,8 @@ class OOOCore(object):
 
         # ---- EPP path: predicted loads skip the validation access ------
         if (
-            self.vp is not None
-            and dyn.vp_predicted
+            dyn.vp_predicted
+            and self.vp is not None
             and not self.vp.wants_validation_access(dyn)
         ):
             value = self._resolve_load_value(dyn, store)
@@ -595,29 +816,73 @@ class OOOCore(object):
             self._finish_load(dyn, cycle, cycle + 1, value)
             return True
 
-        # ---- normal demand path ----------------------------------------
-        if not self.ports.claim_demand():
+        # ---- normal demand path (ports.claim_demand inlined) -----------
+        ports = self.ports
+        if ports._demand_used < ports.num_ports:
+            ports._demand_used += 1
+            ports.demand_grants += 1
+        else:
+            ports.demand_denies += 1
             return False
         if rfp is not None:
             rfp.note_load_issued_first(dyn)
         if store is not None:
             value = store.value
-            complete = cycle + config.store_forward_latency
+            complete = cycle + self.config.store_forward_latency
             dyn.forward_src_seq = store.seq
             dyn.served_level = "FWD"
             self.stats.load_forwards += 1
             if self.vp is not None:
-                self.vp.note_forwarded(dyn.pc)
+                self.vp.note_forwarded(pc)
         else:
-            predicted_hit = (
-                self.hit_miss.predict(dyn.pc) if self.hit_miss is not None else True
-            )
-            result = self.hierarchy.load(dyn.addr, dyn.pc, cycle)
-            complete = result.complete
-            dyn.served_level = result.level
-            hit = result.level == "L1"
-            if self.hit_miss is not None:
-                self.hit_miss.train(dyn.pc, hit)
+            # -- hit_miss.predict --------------------------------------
+            hm = self.hit_miss
+            if hm is not None:
+                hm.predictions += 1
+                hm_table = hm.table
+                hm_index = (pc >> 2) % hm.num_entries
+                predicted_hit = hm_table[hm_index] >= 2
+            else:
+                predicted_hit = True
+            # -- hierarchy.load: DTLB-hit + L1-hit fast path -----------
+            # Both presence probes are side-effect free, so the LRU
+            # touches and counters commit only when the whole fast path
+            # is taken; otherwise MemoryHierarchy.load runs untouched.
+            hier = self.hierarchy
+            addr = dyn.addr
+            dtlb = hier.dtlb
+            page = addr >> 12
+            tlb_set = dtlb.sets[page & dtlb.set_mask]
+            level = None
+            if page in tlb_set and not hier.mshr.inflight:
+                l1 = hier.l1
+                line = addr >> l1.line_shift
+                l1_set = l1.sets[line & l1.set_mask]
+                if line in l1_set:
+                    tlb_set.pop(page)
+                    tlb_set[page] = True
+                    dtlb.hits += 1
+                    l1_set[line] = l1_set.pop(line)
+                    l1.stats.hits += 1
+                    hier.loads_served["L1"] += 1
+                    complete = cycle + hier._l1_serve
+                    level = "L1"
+            if level is None:
+                result = self.hierarchy.load(dyn.addr, pc, cycle)
+                complete = result[0]
+                level = result[1]
+            dyn.served_level = level
+            hit = level == "L1"
+            if hm is not None:
+                # -- hit_miss.train ------------------------------------
+                counter = hm_table[hm_index]
+                if (counter >= 2) != hit:
+                    hm.mispredicts += 1
+                if hit:
+                    if counter < 3:
+                        hm_table[hm_index] = counter + 1
+                elif counter > 0:
+                    hm_table[hm_index] = counter - 1
                 if predicted_hit and not hit:
                     # Dependents were woken at hit timing; cancel + replay.
                     self.stats.hit_miss_mispredicts += 1
@@ -625,16 +890,46 @@ class OOOCore(object):
                 elif not predicted_hit and hit:
                     # Conservative wakeup: dependents re-traverse the
                     # scheduling pipe after data returns.
-                    complete += config.sched_latency
+                    complete += self.config.sched_latency
             value = self.memory.get(word, 0)
         self._finish_load(dyn, cycle, complete, value)
         return True
 
     def _issue_store(self, dyn, cycle):
-        prf_value = self.prf.value
-        srcs = tuple(prf_value[p] for p in dyn.src_pregs)
-        value = evaluate(dyn.instr.op, srcs, dyn.instr.imm)
-        self._finish(dyn, cycle, cycle + 1, value)
+        """Store execution; operand reads, :meth:`_finish` and
+        ``sq.note_executed`` are inlined."""
+        prf = self.prf
+        prf_value = prf.value
+        src_pregs = dyn.src_pregs
+        n = len(src_pregs)
+        if n == 2:
+            srcs = (prf_value[src_pregs[0]], prf_value[src_pregs[1]])
+        elif n == 1:
+            srcs = (prf_value[src_pregs[0]],)
+        else:
+            srcs = tuple(prf_value[p] for p in src_pregs)
+        value = dyn.evaluator(srcs, dyn.instr.imm)
+        complete = cycle + 1
+        # -- _finish ---------------------------------------------------
+        dyn.state = D.COMPLETED
+        dyn.issue_cycle = cycle
+        dyn.complete_cycle = complete
+        dyn.value = value
+        preg = dyn.dest_preg
+        if preg is not None:
+            prf_value[preg] = value
+            prf.ready_cycle[preg] = complete
+            waiters = prf.waiters
+            if waiters is not None:
+                woken = waiters[preg]
+                if woken:
+                    waiters[preg] = []
+                    self.rs.wake_consumers(woken)
+        self.stats.issued += 1
+        if self.tracer is not None:
+            self.tracer.complete(dyn, cycle, complete)
+        # -- sq.note_executed ------------------------------------------
+        insort(self.sq._executed.setdefault(dyn.word_addr, []), (dyn.seq, dyn))
         violator = self.lq.oldest_violation(dyn)
         if violator is not None:
             self.md.train_violation(violator.pc)
@@ -646,25 +941,59 @@ class OOOCore(object):
         dyn.issue_cycle = cycle
         dyn.complete_cycle = complete
         dyn.value = value
-        if write_reg and dyn.dest_preg is not None:
-            self.prf.write(dyn.dest_preg, value, complete)
+        preg = dyn.dest_preg
+        if write_reg and preg is not None:
+            # -- prf.write (inlined: one call per issued instruction) --
+            prf = self.prf
+            prf.value[preg] = value
+            prf.ready_cycle[preg] = complete
+            waiters = prf.waiters
+            if waiters is not None:
+                woken = waiters[preg]
+                if woken:
+                    waiters[preg] = []
+                    self.rs.wake_consumers(woken)
         self.stats.issued += 1
         if self.tracer is not None:
             self.tracer.complete(dyn, cycle, complete)
 
     def _finish_load(self, dyn, cycle, complete, value):
+        """Load completion: :meth:`_finish` and ``lq.note_executed`` are
+        inlined (one call per executed load), preserving their exact
+        side-effect order."""
+        vp_predicted = dyn.vp_predicted
         vp_correct = True
-        if dyn.vp_predicted and self.vp is not None:
+        if vp_predicted and self.vp is not None:
             vp_correct = self.vp.validate(dyn, value)
+        dyn.state = D.COMPLETED
+        dyn.issue_cycle = cycle
+        dyn.complete_cycle = complete
+        dyn.value = value
+        preg = dyn.dest_preg
         # A correct value prediction already made the destination ready at
         # dispatch+1; re-writing it with the (later) load completion would
         # wrongly delay dependents.
-        write_reg = not (dyn.vp_predicted and vp_correct)
-        self._finish(dyn, cycle, complete, value, write_reg=write_reg)
-        if dyn.vp_predicted and not vp_correct:
-            self._schedule_event(complete, "vp_flush", dyn)
-        self.stats.load_latency_sum += complete - cycle
-        self.stats.load_latency_count += 1
+        if preg is not None and not (vp_predicted and vp_correct):
+            # -- prf.write ---------------------------------------------
+            prf = self.prf
+            prf.value[preg] = value
+            prf.ready_cycle[preg] = complete
+            waiters = prf.waiters
+            if waiters is not None:
+                woken = waiters[preg]
+                if woken:
+                    waiters[preg] = []
+                    self.rs.wake_consumers(woken)
+        stats = self.stats
+        stats.issued += 1
+        if self.tracer is not None:
+            self.tracer.complete(dyn, cycle, complete)
+        # -- lq.note_executed ------------------------------------------
+        insort(self.lq._executed.setdefault(dyn.word_addr, []), (dyn.seq, dyn))
+        if vp_predicted and not vp_correct:
+            self.events.schedule(complete, ("vp_flush", dyn))
+        stats.load_latency_sum += complete - cycle
+        stats.load_latency_count += 1
 
     # ==================================================================
     # flushes and squashes

@@ -13,7 +13,7 @@ millions of times per run, and a slot load is several times cheaper than a
 property call.
 """
 
-from repro.isa.opcodes import port_class
+from repro.isa.opcodes import EVALUATORS, OP_LATENCY, port_class
 
 # Instruction lifecycle states.
 SQUASHED = -1
@@ -33,6 +33,11 @@ RFP_WRONG = 5      # prefetched address mismatched; load re-accessed the L1
 #: ALU ports (they execute there).  Precomputed once so the per-dispatch
 #: cost is a single dict lookup.
 _FU_CLASS = {}
+
+#: Functional-unit class -> dense index into the scheduler's per-cycle
+#: budget vector (order matters: it must match ReservationStation's
+#: ``_budget_list``).
+FU_INDEX = {"alu": 0, "mul": 1, "fp": 2, "load": 3, "store": 4}
 
 
 def _fu_class_for(op):
@@ -61,7 +66,6 @@ class DynInstr(object):
         "value",
         "served_level",
         "forward_src_seq",
-        "replays",
         # static-instruction snapshot (set once at construction)
         "is_load",
         "is_store",
@@ -70,6 +74,15 @@ class DynInstr(object):
         "addr",
         "word_addr",
         "fu_class",
+        "fu_idx",
+        "latency",
+        "evaluator",
+        # residency flags: the event-driven scheduler and the LSQ indexes
+        # delete lazily, so each queue marks occupancy here instead of
+        # paying an O(n) list.remove per departure
+        "in_rs",
+        "in_lq",
+        "in_sq",
         # RFP state
         "rfp_state",
         "rfp_addr",
@@ -98,18 +111,23 @@ class DynInstr(object):
         self.value = 0
         self.served_level = None
         self.forward_src_seq = None
-        self.replays = 0
         snap = instr._static
         if snap is None:
             addr = instr.addr
+            op = instr.op
+            fu = _fu_class_for(op)
             # The 8-byte-aligned word_addr is what store/load matching uses.
             snap = instr._static = (
                 instr.is_load, instr.is_store, instr.is_branch, instr.pc,
                 addr, addr & ~7 if addr is not None else None,
-                _fu_class_for(instr.op),
+                fu, FU_INDEX[fu], OP_LATENCY[op], EVALUATORS.get(op),
             )
         (self.is_load, self.is_store, self.is_branch, self.pc,
-         self.addr, self.word_addr, self.fu_class) = snap
+         self.addr, self.word_addr, self.fu_class, self.fu_idx,
+         self.latency, self.evaluator) = snap
+        self.in_rs = False
+        self.in_lq = False
+        self.in_sq = False
         self.rfp_state = RFP_NONE
         self.rfp_addr = None
         self.rfp_bit_set_cycle = -1

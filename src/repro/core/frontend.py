@@ -38,6 +38,13 @@ class Frontend(object):
         self.fetched = 0
         #: Observability hook; set by the core when tracing is enabled.
         self.tracer = None
+        #: Invariant locals of :meth:`fetch`, packed once (the buffer and
+        #: cursor objects are mutated in place, never rebound).
+        self._fetch_inv = (
+            self.fetch_width, self.frontend_latency, self.buffer,
+            self.buffer_capacity, self.cursor, self.cursor._instructions,
+            self.cursor._length,
+        )
 
     @property
     def drained(self):
@@ -51,19 +58,22 @@ class Frontend(object):
         """
         if self.blocked_branch_index is not None or cycle < self.stall_until:
             return 0
+        # Inlined cursor.peek()/next(): this loop runs every busy cycle.
+        # ``cursor.index`` is re-read per iteration in case a fetch hook
+        # ever rewinds the cursor mid-fetch.
+        (fetch_width, frontend_latency, buffer, capacity, cursor,
+         instructions, length) = self._fetch_inv
         fetched = 0
-        ready_at = cycle + self.frontend_latency
-        buffer = self.buffer
-        capacity = self.buffer_capacity
-        cursor = self.cursor
+        ready_at = cycle + frontend_latency
         tracer = self.tracer
-        while fetched < self.fetch_width:
+        while fetched < fetch_width:
             if len(buffer) >= capacity:
                 break
-            instr = cursor.peek()
-            if instr is None:
+            index = cursor.index
+            if index >= length:
                 break
-            cursor.next()
+            instr = instructions[index]
+            cursor.index = index + 1
             buffer.append((ready_at, instr))
             if tracer is not None:
                 tracer.note_fetch(cycle, instr)

@@ -10,7 +10,38 @@ The dependence predictor is a store-set-flavoured PC-indexed saturating
 counter (Chrysos & Emer): loads that suffered an ordering violation are
 forced to wait for older stores; the prediction decays so transient
 conflicts do not throttle a load PC forever.
+
+Lookup structure: the queues answer three questions on the issue hot path
+(youngest older forwarding store, any older unexecuted store, oldest
+violating load), and each used to walk the full queue.  They are now
+incremental:
+
+- executed stores/loads live in a per-word-address index sorted by seq, so
+  forwarding and violation checks bisect straight to the neighbours of the
+  querying instruction instead of scanning the queue;
+- "any older store with an unknown address" reads the head of a min-heap
+  of unexecuted store seqs (invalidated entries are popped lazily — a
+  store's state says whether its heap entry still counts).
+
+The core reports executions via :meth:`StoreQueue.note_executed` /
+:meth:`LoadQueue.note_executed`; results are identical to the full walks.
 """
+
+import heapq
+from bisect import bisect_left, insort
+
+from repro.core import dyninstr as D
+
+
+def _index_drop(index, dyn):
+    """Remove ``dyn`` from a per-word (seq, dyn) index if present."""
+    lst = index.get(dyn.word_addr)
+    if lst:
+        i = bisect_left(lst, (dyn.seq,))
+        if i < len(lst) and lst[i][1] is dyn:
+            del lst[i]
+            if not lst:
+                del index[dyn.word_addr]
 
 
 class MemDepPredictor(object):
@@ -53,6 +84,12 @@ class StoreQueue(object):
         self.entries = []          # active DynInstr stores, oldest first
         self.senior = []           # (release_cycle,) for committed stores
         self.forwards = 0
+        #: Executed stores by word address, each a seq-sorted (seq, dyn)
+        #: list — the forwarding lookup structure.
+        self._executed = {}
+        #: Min-heap of (seq, dyn) for stores whose address is still
+        #: unknown; dead entries (executed/squashed) are popped lazily.
+        self._unexecuted = []
         #: Observability hook; set by the core when tracing is enabled.
         self.tracer = None
 
@@ -65,10 +102,27 @@ class StoreQueue(object):
         return self.occupancy >= self.num_entries
 
     def allocate(self, dyn):
+        dyn.in_sq = True
+        unexecuted = self._unexecuted
+        if len(unexecuted) > 64 + 4 * len(self.entries):
+            # Mostly dead heap (squash/execution churn): rebuild from the
+            # live window, which is already seq-sorted.
+            unexecuted = [
+                (d.seq, d) for d in self.entries if d.state == D.DISPATCHED
+            ]
+            self._unexecuted = unexecuted
         self.entries.append(dyn)
+        heapq.heappush(unexecuted, (dyn.seq, dyn))
+
+    def note_executed(self, dyn):
+        """The core executed ``dyn``: its address is now known and its data
+        is forwardable.  Must be called the cycle the store completes."""
+        insort(self._executed.setdefault(dyn.word_addr, []), (dyn.seq, dyn))
 
     def remove(self, dyn):
         self.entries.remove(dyn)
+        dyn.in_sq = False
+        _index_drop(self._executed, dyn)
 
     def drain(self, cycle):
         """Release senior entries whose L1 write has completed."""
@@ -78,6 +132,8 @@ class StoreQueue(object):
     def mark_senior(self, dyn, release_cycle):
         """Move a committing store to the senior (post-commit drain) list."""
         self.entries.remove(dyn)
+        dyn.in_sq = False
+        _index_drop(self._executed, dyn)
         self.senior.append(release_cycle)
         if self.tracer is not None:
             self.tracer.store_drain(dyn, release_cycle)
@@ -87,36 +143,34 @@ class StoreQueue(object):
 
         This is the forwarding source for a load (or RFP request) at ``seq``.
         """
-        best = None
-        for store in self.entries:
-            if store.seq >= seq:
-                break
-            if store.state >= 1 and store.word_addr == word_addr:
-                best = store
-        if best is not None:
-            self.forwards += 1
-        return best
+        lst = self._executed.get(word_addr)
+        if lst:
+            i = bisect_left(lst, (seq,)) - 1
+            if i >= 0:
+                store = lst[i][1]
+                self.forwards += 1
+                return store
+        return None
 
     def peek_older_executed_match(self, seq, word_addr):
         """Like :meth:`older_executed_match` but without counting the
         forward — the idle-skip detector probes whether the RFP queue head
         *would* forward, and a probe must not perturb statistics."""
-        for store in self.entries:
-            if store.seq >= seq:
-                break
-            if store.state >= 1 and store.word_addr == word_addr:
+        lst = self._executed.get(word_addr)
+        if lst:
+            i = bisect_left(lst, (seq,)) - 1
+            if i >= 0:
                 return True
         return False
 
     def has_older_unexecuted(self, seq):
         """True when any store older than ``seq`` has not yet executed
         (its address is therefore unknown to the pipeline)."""
-        for store in self.entries:
-            if store.seq >= seq:
-                break
-            if store.state < 1:
-                return True
-        return False
+        heap = self._unexecuted
+        DISPATCHED = D.DISPATCHED
+        while heap and heap[0][1].state != DISPATCHED:
+            heapq.heappop(heap)
+        return bool(heap) and heap[0][0] < seq
 
     def __len__(self):
         return len(self.entries)
@@ -128,16 +182,27 @@ class LoadQueue(object):
     def __init__(self, num_entries):
         self.num_entries = num_entries
         self.entries = []
+        #: Executed loads by word address, each a seq-sorted (seq, dyn)
+        #: list — the violation-check lookup structure.
+        self._executed = {}
 
     @property
     def full(self):
         return len(self.entries) >= self.num_entries
 
     def allocate(self, dyn):
+        dyn.in_lq = True
         self.entries.append(dyn)
+
+    def note_executed(self, dyn):
+        """The core executed ``dyn``; it is now checkable for ordering
+        violations.  Must be called the cycle the load completes."""
+        insort(self._executed.setdefault(dyn.word_addr, []), (dyn.seq, dyn))
 
     def remove(self, dyn):
         self.entries.remove(dyn)
+        dyn.in_lq = False
+        _index_drop(self._executed, dyn)
 
     def oldest_violation(self, store):
         """Find the oldest younger load that executed with data older than
@@ -148,18 +213,18 @@ class LoadQueue(object):
         store older than this one).  Loads that forwarded from this store or
         a younger one are safe.
         """
-        word = store.word_addr
-        oldest = None
-        for load in self.entries:
-            if load.seq <= store.seq:
-                continue
-            if load.state < 1 or load.word_addr != word:
-                continue
+        lst = self._executed.get(store.word_addr)
+        if not lst:
+            return None
+        seq = store.seq
+        i = bisect_left(lst, (seq,))
+        while i < len(lst):
+            load = lst[i][1]
             src = load.forward_src_seq
-            if src is None or src < store.seq:
-                if oldest is None or load.seq < oldest.seq:
-                    oldest = load
-        return oldest
+            if src is None or src < seq:
+                return load
+            i += 1
+        return None
 
     def __len__(self):
         return len(self.entries)

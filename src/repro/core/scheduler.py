@@ -13,21 +13,39 @@ and re-dispatched.  That consumes scheduler bandwidth, so each such
 dependent burns one future issue slot (paper §2.5: "this takes some
 additional scheduler bandwidth for re-dispatches").
 
-:meth:`ReservationStation.select` is the single hottest function in the
-simulator (it scans the window every cycle), so it trades a little
-readability for speed: the per-class FU budget is a precomputed dict copied
-per cycle, each entry's FU class is snapshotted on the DynInstr at
-dispatch, and issued/squashed entries are compacted out of the window in
-one pass at the end of the cycle instead of via per-entry ``list.remove``.
+Two selection engines share this class:
+
+- **event-driven** (default): each waiting instruction lives in exactly one
+  of three places — a *wakeup list* on the physical register whose producer
+  has not finished (``prf.waiters``), a :class:`~repro.core.wheel.TimingWheel`
+  slot when every operand has a known future ready cycle, or the seq-ordered
+  *ready heap* once it is issuable.  Completions push consumers along that
+  chain (``prf.write`` -> :meth:`wake_consumers`), so a cycle's select pops
+  ready work instead of re-scanning the window; cost scales with activity,
+  not occupancy.  Oldest-first selection is preserved exactly because the
+  ready queue orders by seq, the same order the polled scan visited entries.
+- **legacy polled** (``REPRO_EVENT_LOOP=0``): the original full-window scan,
+  kept verbatim for one release as the bit-exactness reference.
+
+One wrinkle keeps the two engines identical: a register's ready cycle can
+move *later* after consumers were parked (a value-mispredicted load
+rewrites its destination at validation; a hit-predicted load that missed
+completes late).  Ready-heap pops therefore re-verify operand readiness
+against the live PRF and re-park the entry when it turns out stale — the
+wheel slot is a lower bound on the true wake cycle, never a promise.
 """
 
+import heapq
+
 from repro.core import dyninstr as D
+from repro.core.rename import INFINITY
+from repro.core.wheel import TimingWheel
 
 
 class ReservationStation(object):
     """Bounded pool of waiting instructions with oldest-first select."""
 
-    def __init__(self, config, prf):
+    def __init__(self, config, prf, event_driven=True):
         self.config = config
         self.prf = prf
         self.entries = []
@@ -44,25 +62,73 @@ class ReservationStation(object):
             "load": config.load_ports + config.rfp_dedicated_ports,
             "store": config.store_ports,
         }
+        #: Dense-index view of the budget (order fixed by D.FU_INDEX); the
+        #: event select copies this with a slice instead of a dict() per
+        #: busy cycle.
+        self._budget_list = [
+            self._budget_base["alu"], self._budget_base["mul"],
+            self._budget_base["fp"], self._budget_base["load"],
+            self._budget_base["store"],
+        ]
         self._rs_entries = config.rs_entries
         self._issue_width = config.issue_width
         self._min_delay = config.sched_latency
+        self.event_driven = event_driven
+        #: Entries currently waiting in the window (event mode tracks this
+        #: explicitly because departures are lazy).
+        self.live = 0
+        self._dead = 0
+        #: Cycle of the most recent select — the boundary between "issuable
+        #: now" (ready heap) and "issuable later" (timing wheel).
+        self.now = -1
+        #: Min-heap of (seq, dyn) whose operands were all ready at park time.
+        self.ready = []
+        #: Future wakeups: cycle -> entries whose operands become ready then.
+        self.wheel = TimingWheel()
+        if event_driven:
+            prf.attach_scheduler(self)
+        #: Invariant locals of the wakeup/select hot paths, packed once
+        #: (all containers are mutated in place, never rebound).
+        self._wake_inv = (
+            prf.ready_cycle, prf.waiters, self._min_delay, self.ready,
+            self.wheel.slots, self.wheel.cycles,
+        )
 
     @property
     def full(self):
+        if self.event_driven:
+            return self.live >= self._rs_entries
         return len(self.entries) >= self._rs_entries
 
     @property
     def occupancy(self):
+        if self.event_driven:
+            return self.live
         return len(self.entries)
 
     def allocate(self, dyn):
+        if self.event_driven:
+            if self.live >= self._rs_entries:
+                raise RuntimeError("RS overflow")
+            dyn.in_rs = True
+            self.live += 1
+            self.entries.append(dyn)
+            self._evaluate(dyn)
+            return
         if len(self.entries) >= self._rs_entries:
             raise RuntimeError("RS overflow")
+        dyn.in_rs = True
         self.entries.append(dyn)
 
     def discard(self, dyn):
         """Remove an entry if present (squash path)."""
+        if self.event_driven:
+            if dyn.in_rs:
+                dyn.in_rs = False
+                self.live -= 1
+                self._dead += 1
+            return
+        dyn.in_rs = False
         try:
             self.entries.remove(dyn)
         except ValueError:
@@ -70,6 +136,148 @@ class ReservationStation(object):
 
     def _fu_budget(self):
         return dict(self._budget_base)
+
+    # ------------------------------------------------------------------
+    # event-driven wakeup
+
+    def _evaluate(self, dyn):
+        """Park ``dyn`` wherever its operand state says it belongs.
+
+        Exactly one destination: the wakeup list of the first operand whose
+        producer has no completion time yet, the timing wheel at the cycle
+        every operand becomes readable, or the ready heap when that cycle
+        has already passed.
+        """
+        ready_cycle = self.prf.ready_cycle
+        wake = dyn.dispatch_cycle + self._min_delay
+        for preg in dyn.src_pregs:
+            when = ready_cycle[preg]
+            if when > wake:
+                if when == INFINITY:
+                    self.prf.waiters[preg].append(dyn)
+                    return
+                wake = when
+        if wake <= self.now:
+            heapq.heappush(self.ready, (dyn.seq, dyn))
+        else:
+            self.wheel.schedule(wake, dyn)
+
+    def wake_consumers(self, woken):
+        """A register was written: re-park every consumer waiting on it.
+
+        Called by :meth:`~repro.core.rename.PhysicalRegisterFile.write`.
+        All simulation-time writes carry a ready cycle in the future, so
+        the consumers land in the timing wheel (or another wakeup list),
+        never directly in the current cycle's ready heap.
+
+        The body is :meth:`_evaluate` inlined per consumer — this runs for
+        every dependence edge in the window, so the call overhead matters.
+        """
+        (ready_cycle, waiters, min_delay, ready, wheel_slots,
+         wheel_cycles) = self._wake_inv
+        now = self.now
+        heappush = heapq.heappush
+        DISPATCHED = D.DISPATCHED
+        for dyn in woken:
+            if not dyn.in_rs or dyn.state != DISPATCHED:
+                continue
+            wake = dyn.dispatch_cycle + min_delay
+            parked = False
+            for preg in dyn.src_pregs:
+                when = ready_cycle[preg]
+                if when > wake:
+                    if when == INFINITY:
+                        waiters[preg].append(dyn)
+                        parked = True
+                        break
+                    wake = when
+            if parked:
+                continue
+            if wake <= now:
+                heappush(ready, (dyn.seq, dyn))
+            else:
+                slot = wheel_slots.get(wake)
+                if slot is not None:
+                    slot.append(dyn)
+                else:
+                    wheel_slots[wake] = [dyn]
+                    heappush(wheel_cycles, wake)
+
+    def _select_event(self, cycle, try_issue):
+        issued = 0
+        width = self._issue_width
+        self.now = cycle
+        (ready_cycle, _waiters, _min_delay, ready, wheel_slots,
+         wheel_cycles) = self._wake_inv
+        if wheel_cycles and wheel_cycles[0] <= cycle:
+            # Drain due wheel slots; wake_consumers re-parks each live
+            # entry (ready heap, a later wheel slot, or a wakeup list if a
+            # producer was re-timed to INFINITY — impossible in practice,
+            # but the shared code path keeps the invariant airtight).
+            # Slots are drained whole (wheel.pop_due without the generator
+            # machinery): re-parks always land strictly after ``cycle``
+            # because ``now == cycle`` here, so a drained slot never
+            # regrows and slot-at-a-time iteration sees every due entry.
+            heappop = heapq.heappop
+            while wheel_cycles and wheel_cycles[0] <= cycle:
+                due = heappop(wheel_cycles)
+                self.wake_consumers(wheel_slots.pop(due))
+        while self.replay_debt > 0 and issued < width:
+            self.replay_debt -= 1
+            self.replay_issues_total += 1
+            issued += 1
+        if issued >= width or not ready:
+            return issued
+        budget = self._budget_list[:]
+        heappop = heapq.heappop
+        DISPATCHED = D.DISPATCHED
+        deferred = None
+        while ready and issued < width:
+            item = heappop(ready)
+            dyn = item[1]
+            if not dyn.in_rs or dyn.state != DISPATCHED:
+                continue
+            stale = False
+            for preg in dyn.src_pregs:
+                if ready_cycle[preg] > cycle:
+                    # The producer was re-timed after this entry was parked
+                    # (VP validation rewrite / late L1 miss): park it again
+                    # at the corrected cycle.
+                    stale = True
+                    break
+            if stale:
+                self._evaluate(dyn)
+                continue
+            fu = dyn.fu_idx
+            if budget[fu] <= 0:
+                if deferred is None:
+                    deferred = []
+                deferred.append(item)
+                continue
+            if try_issue(dyn, cycle):
+                budget[fu] -= 1
+                issued += 1
+                self.issued_total += 1
+                dyn.in_rs = False
+                self.live -= 1
+                self._dead += 1
+            else:
+                # Structural hazard (no load port / memory-dependence gate):
+                # stays issuable, competes again next cycle.
+                if deferred is None:
+                    deferred = []
+                deferred.append(item)
+        if deferred is not None:
+            heappush = heapq.heappush
+            for item in deferred:
+                heappush(ready, item)
+        if self._dead > 256 and self._dead * 2 > len(self.entries):
+            self.entries = [d for d in self.entries if d.in_rs]
+            self._dead = 0
+        return issued
+
+    # ------------------------------------------------------------------
+    # select
 
     def select(self, cycle, try_issue):
         """Issue up to ``issue_width`` ready instructions, oldest first.
@@ -79,6 +287,8 @@ class ReservationStation(object):
         (False = structural hazard such as a missing load port or a memory
         dependence the instruction must wait out; the entry stays).
         """
+        if self.event_driven:
+            return self._select_event(cycle, try_issue)
         issued = 0
         width = self._issue_width
         while self.replay_debt > 0 and issued < width:
@@ -137,17 +347,29 @@ class ReservationStation(object):
         """
         count = 0
         tracer = self.tracer
-        for dyn in self.entries:
-            if dest_preg in dyn.src_pregs:
-                count += 1
-                if tracer is not None:
-                    tracer.replay(dyn, dest_preg)
+        if self.event_driven:
+            # The lazily compacted window still holds departed entries;
+            # only live waiting consumers are chargeable.  (An entry that
+            # issued this very cycle cannot source ``dest_preg``: every
+            # charge site fires before the charged register is written.)
+            DISPATCHED = D.DISPATCHED
+            for dyn in self.entries:
+                if dyn.state == DISPATCHED and dest_preg in dyn.src_pregs:
+                    count += 1
+                    if tracer is not None:
+                        tracer.replay(dyn, dest_preg)
+        else:
+            for dyn in self.entries:
+                if dest_preg in dyn.src_pregs:
+                    count += 1
+                    if tracer is not None:
+                        tracer.replay(dyn, dest_preg)
         self.replay_debt += count
         return count
 
     def __repr__(self):
         return "<RS %d/%d debt=%d>" % (
-            len(self.entries),
+            self.occupancy,
             self.config.rs_entries,
             self.replay_debt,
         )

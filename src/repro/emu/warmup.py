@@ -37,7 +37,7 @@ boundary, so ``core.run()`` simulates only the remaining instructions.
 
 from repro.core.frontend import PATH_MASK
 from repro.emu.emulator import ArchEmulator
-from repro.isa.opcodes import Op, evaluate
+from repro.isa.opcodes import EVALUATORS, Op
 
 
 class FunctionalWarmer(ArchEmulator):
@@ -77,10 +77,29 @@ class FunctionalWarmer(ArchEmulator):
         memory_get = memory.get
         loads_append = self.load_values.append
         stores_append = self.store_values.append
-        warm_load = core.hierarchy.warm_load
-        warm_store = core.hierarchy.warm_store
-        hm_train = hit_miss.train if hit_miss is not None else None
-        md_train = core.md.train_commit
+        hierarchy = core.hierarchy
+        warm_load = hierarchy.warm_load
+        warm_store = hierarchy.warm_store
+        # The DTLB-hit + L1-hit case of warm_load is inlined in the load
+        # branch below (same presence checks, LRU touches and counters);
+        # anything rarer falls back to the full method.
+        dtlb = hierarchy.dtlb
+        dtlb_sets = dtlb.sets
+        dtlb_mask = dtlb.set_mask
+        l1 = hierarchy.l1
+        l1_sets = l1.sets
+        l1_mask = l1.set_mask
+        l1_shift = l1.line_shift
+        l1_stats = l1.stats
+        hm = hit_miss
+        hm_table = hm.table if hm is not None else None
+        hm_entries = hm.num_entries if hm is not None else 0
+        md = core.md
+        md_table = md.table
+        md_entries = md.num_entries
+        md_decay = md.decay_period
+        md_tick = md._commit_tick
+        evaluators = EVALUATORS
         LOAD, STORE = Op.LOAD, Op.STORE
         for instr in self.trace.instructions[: count]:
             op = instr.op
@@ -88,31 +107,78 @@ class FunctionalWarmer(ArchEmulator):
                 addr = instr.addr
                 value = memory_get(addr & ~7, 0)
                 loads_append(value)
-                level = warm_load(addr, instr.pc)
-                if hm_train is not None:
-                    hm_train(instr.pc, level == "L1")
-                md_train(instr.pc)
+                pc = instr.pc
+                # -- hierarchy.warm_load (fast path) -------------------
+                page = addr >> 12
+                tlb_set = dtlb_sets[page & dtlb_mask]
+                hit = False
+                if page in tlb_set:
+                    line = addr >> l1_shift
+                    l1_set = l1_sets[line & l1_mask]
+                    if line in l1_set:
+                        tlb_set.pop(page)
+                        tlb_set[page] = True
+                        dtlb.hits += 1
+                        l1_set[line] = l1_set.pop(line)
+                        l1_stats.hits += 1
+                        hit = True
+                if not hit:
+                    hit = warm_load(addr, pc) == "L1"
+                if hm is not None:
+                    # -- hit_miss.train --------------------------------
+                    index = (pc >> 2) % hm_entries
+                    counter = hm_table[index]
+                    if (counter >= 2) != hit:
+                        hm.mispredicts += 1
+                    if hit:
+                        if counter < 3:
+                            hm_table[index] = counter + 1
+                    elif counter > 0:
+                        hm_table[index] = counter - 1
+                # -- md.train_commit (tick kept in a local) ------------
+                md_tick += 1
+                if md_tick % md_decay == 0:
+                    index = (pc >> 2) % md_entries
+                    if md_table[index] > 0:
+                        md_table[index] -= 1
                 if pt is not None:
-                    pt.on_allocate(instr.pc)
-                    pt.on_commit(instr.pc)
-                    pt.train(instr.pc, addr)
+                    pt.on_allocate(pc)
+                    pt.on_commit(pc)
+                    pt.train(pc, addr)
                     if context is not None:
-                        context.train(instr.pc, frontend.path_history, addr)
+                        context.train(pc, frontend.path_history, addr)
             elif op == STORE:
-                srcs = [regs[r] for r in instr.srcs]
-                value = evaluate(op, srcs, instr.imm)
+                s = instr.srcs
+                n = len(s)
+                if n == 2:
+                    srcs = (regs[s[0]], regs[s[1]])
+                elif n == 1:
+                    srcs = (regs[s[0]],)
+                else:
+                    srcs = [regs[r] for r in s]
+                value = evaluators[op](srcs, instr.imm)
                 memory[instr.addr & ~7] = value
                 stores_append(value)
                 warm_store(instr.addr)
             else:
-                srcs = [regs[r] for r in instr.srcs]
-                value = evaluate(op, srcs, instr.imm)
+                s = instr.srcs
+                n = len(s)
+                if n == 2:
+                    srcs = (regs[s[0]], regs[s[1]])
+                elif n == 1:
+                    srcs = (regs[s[0]],)
+                elif n == 0:
+                    srcs = ()
+                else:
+                    srcs = [regs[r] for r in s]
+                value = evaluators[op](srcs, instr.imm)
                 if instr.is_branch:
                     frontend.path_history = (
                         (frontend.path_history << 1) | (1 if instr.taken else 0)
                     ) & PATH_MASK
             if instr.dst is not None:
                 regs[instr.dst] = value
+        md._commit_tick = md_tick
         self.warmed += min(count, len(self.trace.instructions))
         core.rename.seed_architectural(
             [regs[reg] for reg in range(len(core.rename.rat))]

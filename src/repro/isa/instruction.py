@@ -39,10 +39,18 @@ class Instruction(object):
         "taken",
         "mispredicted",
         "index",
+        # Opcode-class facts, precomputed here because the frontend, the
+        # dispatch stage, and the tracer read them once per dynamic
+        # instruction — an attribute load is several times cheaper than a
+        # property call.
+        "is_load",
+        "is_store",
+        "is_mem",
+        "is_branch",
         # Lazily-filled static snapshot (is_load, is_store, is_branch, pc,
-        # addr, word_addr, fu_class) shared by every DynInstr wrapping this
-        # instruction; a pure function of the fields above, so caching it on
-        # the (trace-shared) instruction is idempotent.
+        # addr, word_addr, fu_class, latency) shared by every DynInstr
+        # wrapping this instruction; a pure function of the fields above, so
+        # caching it on the (trace-shared) instruction is idempotent.
         "_static",
     )
 
@@ -68,23 +76,11 @@ class Instruction(object):
         self.taken = taken
         self.mispredicted = mispredicted
         self.index = -1
+        self.is_load = op == Op.LOAD
+        self.is_store = op == Op.STORE
+        self.is_mem = self.is_load or self.is_store
+        self.is_branch = op == Op.BRANCH
         self._static = None
-
-    @property
-    def is_load(self):
-        return self.op == Op.LOAD
-
-    @property
-    def is_store(self):
-        return self.op == Op.STORE
-
-    @property
-    def is_mem(self):
-        return self.op == Op.LOAD or self.op == Op.STORE
-
-    @property
-    def is_branch(self):
-        return self.op == Op.BRANCH
 
     def __repr__(self):
         parts = ["pc=%#x" % self.pc, self.op.name]

@@ -123,6 +123,118 @@ def port_class(op):
     raise ValueError("unknown opcode: %r" % (op,))
 
 
+def _eval_add(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    return (a + (b or 0) + imm) & MASK64
+
+
+def _eval_sub(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    return (a - (b or 0) - imm) & MASK64
+
+
+def _eval_and(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    return (a & (b if b is not None else MASK64)) & MASK64
+
+
+def _eval_or(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    return (a | (b or 0) | imm) & MASK64
+
+
+def _eval_xor(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    return (a ^ (b or 0) ^ imm) & MASK64
+
+
+def _eval_shl(srcs, imm):
+    a = srcs[0] if srcs else 0
+    return (a << (imm & 63)) & MASK64
+
+
+def _eval_shr(srcs, imm):
+    a = srcs[0] if srcs else 0
+    return (a >> (imm & 63)) & MASK64
+
+
+def _eval_mov(srcs, imm):
+    return (srcs[0] if srcs else imm) & MASK64
+
+
+def _eval_mul(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    return (a * (b if b is not None else imm)) & MASK64
+
+
+def _eval_div(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    divisor = (b if b is not None else imm) or 1
+    return (a // divisor) & MASK64
+
+
+def _eval_fpadd(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    return (a + (b or 0) + imm) & MASK64
+
+
+def _eval_fpmul(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    return (a * ((b or 0) | 1)) & MASK64
+
+
+def _eval_fma(srcs, imm):
+    a = srcs[0] if srcs else 0
+    b = srcs[1] if len(srcs) > 1 else None
+    factor = b if b is not None else 1
+    addend = srcs[2] if len(srcs) > 2 else imm
+    return (a * factor + addend) & MASK64
+
+
+def _eval_store(srcs, imm):
+    return (srcs[0] if srcs else imm) & MASK64
+
+
+def _eval_branch(srcs, imm):
+    cond = srcs[0] if srcs else imm
+    return 1 if (cond & 1) else 0
+
+
+def _eval_nop(srcs, imm):
+    return 0
+
+
+#: Opcode -> value function.  LOAD is deliberately absent: its value comes
+#: from memory, and evaluating one is a bug worth raising on.
+EVALUATORS = {
+    Op.ADD: _eval_add,
+    Op.SUB: _eval_sub,
+    Op.AND: _eval_and,
+    Op.OR: _eval_or,
+    Op.XOR: _eval_xor,
+    Op.SHL: _eval_shl,
+    Op.SHR: _eval_shr,
+    Op.MOV: _eval_mov,
+    Op.MUL: _eval_mul,
+    Op.DIV: _eval_div,
+    Op.FPADD: _eval_fpadd,
+    Op.FPMUL: _eval_fpmul,
+    Op.FMA: _eval_fma,
+    Op.STORE: _eval_store,
+    Op.BRANCH: _eval_branch,
+    Op.NOP: _eval_nop,
+}
+
+
 def evaluate(op, srcs, imm=0):
     """Compute the 64-bit result of a non-memory opcode.
 
@@ -131,43 +243,11 @@ def evaluate(op, srcs, imm=0):
     branches return values too: a STORE's "result" is the value it writes
     (src0 + imm), and a BRANCH's result is its taken/not-taken condition bit,
     which keeps the dataflow graph uniform.
+
+    Hot paths bypass this wrapper and call ``EVALUATORS[op]`` (or a
+    per-instruction cached evaluator) directly; results are identical.
     """
-    a = srcs[0] if srcs else 0
-    b = srcs[1] if len(srcs) > 1 else None
-    if op == Op.ADD:
-        return (a + (b or 0) + imm) & MASK64
-    if op == Op.SUB:
-        return (a - (b or 0) - imm) & MASK64
-    if op == Op.AND:
-        return (a & (b if b is not None else MASK64)) & MASK64
-    if op == Op.OR:
-        return (a | (b or 0) | imm) & MASK64
-    if op == Op.XOR:
-        return (a ^ (b or 0) ^ imm) & MASK64
-    if op == Op.SHL:
-        return (a << (imm & 63)) & MASK64
-    if op == Op.SHR:
-        return (a >> (imm & 63)) & MASK64
-    if op == Op.MOV:
-        return (srcs[0] if srcs else imm) & MASK64
-    if op == Op.MUL:
-        return (a * (b if b is not None else imm)) & MASK64
-    if op == Op.DIV:
-        divisor = (b if b is not None else imm) or 1
-        return (a // divisor) & MASK64
-    if op == Op.FPADD:
-        return (a + (b or 0) + imm) & MASK64
-    if op == Op.FPMUL:
-        return (a * ((b or 0) | 1)) & MASK64
-    if op == Op.FMA:
-        factor = b if b is not None else 1
-        addend = srcs[2] if len(srcs) > 2 else imm
-        return (a * factor + addend) & MASK64
-    if op == Op.STORE:
-        return (srcs[0] if srcs else imm) & MASK64
-    if op == Op.BRANCH:
-        cond = srcs[0] if srcs else imm
-        return 1 if (cond & 1) else 0
-    if op == Op.NOP:
-        return 0
-    raise ValueError("evaluate() does not handle %r" % (op,))
+    func = EVALUATORS.get(op)
+    if func is None:
+        raise ValueError("evaluate() does not handle %r" % (op,))
+    return func(srcs, imm)

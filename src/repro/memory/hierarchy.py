@@ -72,6 +72,9 @@ class MemoryHierarchy(object):
         self.oracle_overrides = dict(config.oracle_overrides)
         self.loads_served = {level: 0 for level in LEVELS}
         self.store_accesses = 0
+        #: L1 load-to-use latency after oracle overrides, precomputed for
+        #: the per-load hit path (overrides are fixed at construction).
+        self._l1_serve = self._serve_latency("L1")
 
     # ------------------------------------------------------------------
     # latency helpers
@@ -108,11 +111,11 @@ class MemoryHierarchy(object):
             if self.mshr.inflight:
                 pending = self.mshr.probe(line, start)
                 if pending is not None:
-                    complete = max(pending, start + self._serve_latency("L1"))
+                    complete = max(pending, start + self._l1_serve)
                     if count_distribution:
                         self.loads_served["MSHR"] += 1
                     return AccessResult(complete, "MSHR")
-            result = AccessResult(start + self._serve_latency("L1"), "L1")
+            result = AccessResult(start + self._l1_serve, "L1")
             if count_distribution:
                 self.loads_served["L1"] += 1
             return result

@@ -18,9 +18,27 @@ spec17_xalancbmk and hadoop carry latency-critical chains (top gains).
 """
 
 import hashlib
+import os
 from functools import lru_cache
 
 from repro.workloads.generator import WorkloadProfile, generate_trace
+
+
+def _trace_cache_size():
+    """Trace-memo capacity: ``REPRO_TRACE_CACHE`` (entries), default 96.
+
+    The default holds the full 65-workload suite plus headroom for ad-hoc
+    lengths.  Long-running sweeps over many (name, length) pairs can bound
+    the resident set lower; ``0`` disables caching entirely (every call
+    regenerates).  Invalid values fall back to the default rather than
+    failing at import time.
+    """
+    raw = os.environ.get("REPRO_TRACE_CACHE", "")
+    try:
+        size = int(raw)
+    except ValueError:
+        return 96
+    return size if size >= 0 else 96
 
 CATEGORIES = ("ISPEC06", "FSPEC06", "ISPEC17", "FSPEC17", "Cloud", "Client")
 
@@ -198,14 +216,17 @@ def profile_for(name, length=20000):
     )
 
 
-@lru_cache(maxsize=96)
+@lru_cache(maxsize=_trace_cache_size())
 def build_workload(name, length=20000):
     """Generate (and memoise) the trace for a suite workload.
 
-    The cache is sized to hold the full 65-workload suite (plus headroom
-    for ad-hoc lengths) so a multi-config matrix run builds each trace
-    once, not once per config; :func:`repro.sim.parallel.run_jobs`
-    pre-populates it in the parent before forking workers.
+    The cache is sized (``REPRO_TRACE_CACHE``, default 96) to hold the
+    full 65-workload suite plus headroom for ad-hoc lengths, so a
+    multi-config matrix run builds each trace once, not once per config;
+    :func:`repro.sim.parallel.run_jobs` pre-populates it in the parent
+    before forking workers.  Each trace holds ``length`` instruction
+    objects, so bounding the cache bounds peak memory on sweeps that
+    visit many distinct (name, length) pairs.
     """
     return generate_trace(profile_for(name, length=length))
 

@@ -34,6 +34,18 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "IPC" in out and "RFP useful" in out
 
+    def test_run_with_profile(self, capsys, tmp_path):
+        out_file = tmp_path / "run.pstats"
+        assert main(["run", "spec06_bzip2", "--length", "1200",
+                     "--warmup", "100", "--profile", "--profile-limit", "5",
+                     "--profile-out", str(out_file)]) == 0
+        captured = capsys.readouterr()
+        assert "IPC" in captured.out
+        # The cProfile report goes to stderr, the raw dump to the file.
+        assert "cumulative" in captured.err
+        assert "simulate" in captured.err
+        assert out_file.exists() and out_file.stat().st_size > 0
+
     def test_run_with_vp(self, capsys):
         assert main(["run", "spec06_bzip2", "--length", "1200",
                      "--warmup", "100", "--vp", "eves"]) == 0

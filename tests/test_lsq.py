@@ -23,40 +23,56 @@ def load_dyn(seq, addr, executed=False, forward_src=None):
     return dyn
 
 
+def add_store(sq, dyn):
+    """Allocate following the core's protocol: executed stores are
+    reported via note_executed (the core calls it at store issue)."""
+    sq.allocate(dyn)
+    if dyn.state >= 1:
+        sq.note_executed(dyn)
+    return dyn
+
+
+def add_load(lq, dyn):
+    lq.allocate(dyn)
+    if dyn.state >= 1:
+        lq.note_executed(dyn)
+    return dyn
+
+
 class TestStoreQueue:
     def test_forward_youngest_older_match(self):
         sq = StoreQueue(8)
         s1 = store_dyn(1, 0x100, value=11)
         s2 = store_dyn(2, 0x100, value=22)
-        sq.allocate(s1)
-        sq.allocate(s2)
+        add_store(sq, s1)
+        add_store(sq, s2)
         match = sq.older_executed_match(5, 0x100)
         assert match is s2, "youngest older store wins"
 
     def test_no_forward_from_younger(self):
         sq = StoreQueue(8)
-        sq.allocate(store_dyn(7, 0x100))
+        add_store(sq, store_dyn(7, 0x100))
         assert sq.older_executed_match(5, 0x100) is None
 
     def test_no_forward_from_unexecuted(self):
         sq = StoreQueue(8)
-        sq.allocate(store_dyn(1, 0x100, executed=False))
+        add_store(sq, store_dyn(1, 0x100, executed=False))
         assert sq.older_executed_match(5, 0x100) is None
 
     def test_different_word_no_match(self):
         sq = StoreQueue(8)
-        sq.allocate(store_dyn(1, 0x108))
+        add_store(sq, store_dyn(1, 0x108))
         assert sq.older_executed_match(5, 0x100) is None
 
     def test_has_older_unexecuted(self):
         sq = StoreQueue(8)
-        sq.allocate(store_dyn(1, 0x100, executed=False))
+        add_store(sq, store_dyn(1, 0x100, executed=False))
         assert sq.has_older_unexecuted(5)
         assert not sq.has_older_unexecuted(1)
 
     def test_executed_store_not_flagged(self):
         sq = StoreQueue(8)
-        sq.allocate(store_dyn(1, 0x100, executed=True))
+        add_store(sq, store_dyn(1, 0x100, executed=True))
         assert not sq.has_older_unexecuted(5)
 
     def test_senior_drain(self):
@@ -89,43 +105,43 @@ class TestLoadQueue:
     def test_violation_detected(self):
         lq = LoadQueue(8)
         load = load_dyn(5, 0x100, executed=True)  # read memory (no forward)
-        lq.allocate(load)
+        add_load(lq, load)
         store = store_dyn(3, 0x100)
         assert lq.oldest_violation(store) is load
 
     def test_forward_from_this_store_is_safe(self):
         lq = LoadQueue(8)
         load = load_dyn(5, 0x100, executed=True, forward_src=3)
-        lq.allocate(load)
+        add_load(lq, load)
         assert lq.oldest_violation(store_dyn(3, 0x100)) is None
 
     def test_forward_from_older_store_violates(self):
         lq = LoadQueue(8)
         load = load_dyn(5, 0x100, executed=True, forward_src=1)
-        lq.allocate(load)
+        add_load(lq, load)
         assert lq.oldest_violation(store_dyn(3, 0x100)) is load
 
     def test_unexecuted_load_safe(self):
         lq = LoadQueue(8)
-        lq.allocate(load_dyn(5, 0x100, executed=False))
+        add_load(lq, load_dyn(5, 0x100, executed=False))
         assert lq.oldest_violation(store_dyn(3, 0x100)) is None
 
     def test_older_load_safe(self):
         lq = LoadQueue(8)
-        lq.allocate(load_dyn(2, 0x100, executed=True))
+        add_load(lq, load_dyn(2, 0x100, executed=True))
         assert lq.oldest_violation(store_dyn(3, 0x100)) is None
 
     def test_oldest_violator_wins(self):
         lq = LoadQueue(8)
         young = load_dyn(9, 0x100, executed=True)
         old = load_dyn(5, 0x100, executed=True)
-        lq.allocate(young)
-        lq.allocate(old)
+        add_load(lq, young)
+        add_load(lq, old)
         assert lq.oldest_violation(store_dyn(3, 0x100)) is old
 
     def test_different_word_safe(self):
         lq = LoadQueue(8)
-        lq.allocate(load_dyn(5, 0x108, executed=True))
+        add_load(lq, load_dyn(5, 0x108, executed=True))
         assert lq.oldest_violation(store_dyn(3, 0x100)) is None
 
 

@@ -41,10 +41,11 @@ class Harness(object):
         self.seq += 1
         dyn = DynInstr(Instruction(0x500, Op.STORE, srcs=(1,), addr=addr),
                        self.seq, 0)
+        self.sq.allocate(dyn)
         if executed:
             dyn.state = D.COMPLETED
             dyn.value = value
-        self.sq.allocate(dyn)
+            self.sq.note_executed(dyn)
         return dyn
 
     def cycle(self, cycle):
@@ -184,6 +185,7 @@ class TestStoreHandling:
         assert dyn.rfp_state == D.RFP_QUEUED
         assert h.engine.stats.blocked_cycles >= 1
         store.state = D.COMPLETED  # store executes
+        h.sq.note_executed(store)
         h.cycle(2)
         assert dyn.rfp_state == D.RFP_INFLIGHT
 
