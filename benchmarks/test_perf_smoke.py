@@ -230,6 +230,16 @@ def test_perf_smoke(benchmark, monkeypatch):
     # the speedup assertion, so clear that too.
     monkeypatch.delenv("REPRO_TRACE", raising=False)
     monkeypatch.delenv("REPRO_FF", raising=False)
+    # The resilience knobs must also be off: a stray REPRO_FAULT would
+    # inject failures into the measured runs, REPRO_CHECK_INVARIANTS would
+    # charge per-cycle sweeps to the fast path, and timeout/retry settings
+    # would perturb the parallel section.  With all of them unset, the
+    # resilience hooks reduce to one falsy-int test per loop iteration,
+    # which is exactly the zero-cost claim the existing floors guard.
+    monkeypatch.delenv("REPRO_FAULT", raising=False)
+    monkeypatch.delenv("REPRO_CHECK_INVARIANTS", raising=False)
+    monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_JOB_RETRIES", raising=False)
     assert not fast_forward_env_disabled()
 
     workloads = default_workloads()[:4]

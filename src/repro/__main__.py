@@ -13,6 +13,7 @@ Commands:
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.config import RFPConfig, baseline, baseline_2x
@@ -22,13 +23,18 @@ from repro.rfp.storage import storage_report
 from repro.sim.cache import default_cache
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
 from repro.sim.experiments import suite_speedup
-from repro.sim.parallel import run_matrix
+from repro.sim.parallel import format_failures, run_matrix
 from repro.sim.runner import simulate
 from repro.stats.report import format_table
 from repro.workloads.suite import suite_table, workload_names
 
 
 def _config_from_args(args):
+    check = getattr(args, "check_invariants", None)
+    if check is not None:
+        # Through the environment, not a parameter: parallel workers and
+        # every simulate() call in the process inherit the knob.
+        os.environ["REPRO_CHECK_INVARIANTS"] = str(check)
     factory = baseline_2x if getattr(args, "core_2x", False) else baseline
     overrides = {}
     if getattr(args, "rfp", False):
@@ -126,29 +132,42 @@ def cmd_suite(args):
     base_config = baseline() if not args.core_2x else baseline_2x()
     print("Running %s workloads under %s..."
           % (args.num or "all", config.name))
-    # One pool over the full (config x workload) matrix: the baseline and
+    # One engine over the full (config x workload) matrix: the baseline and
     # feature runs share workers instead of draining sequentially.
     (base, feature), report = run_matrix(
         [base_config, config], names, args.length, args.warmup,
-        max_workers=args.jobs,
+        max_workers=args.jobs, job_timeout=args.job_timeout,
+        retries=args.retries, keep_going=args.keep_going,
     )
     _, per_cat, overall = suite_speedup(feature, base)
     rows = [(cat, "%+.2f%%" % ((v - 1) * 100)) for cat, v in per_cat.items()]
-    rows.append(("ALL (geomean)", "%+.2f%%" % ((overall - 1) * 100)))
+    if per_cat:
+        rows.append(("ALL (geomean)", "%+.2f%%" % ((overall - 1) * 100)))
     print(format_table(["category", "speedup vs baseline"], rows))
     print(report.format())
+    if args.resume:
+        print("resume: %d job(s) served from the cache, %d simulated"
+              % (report.cache_hits, report.jobs_simulated))
+    if report.failures:
+        print(format_failures(report.failures), file=sys.stderr)
     if args.out:
         # Stable per-workload dump: the CI determinism job diffs the file
-        # produced by --jobs 1 against --jobs 4 byte for byte.
+        # produced by --jobs 1 against --jobs 4 byte for byte.  Failed
+        # cells (keep-going) are simply absent from their config's map;
+        # the manifest names them.  A healthy run always writes
+        # ``"failures": []`` so the bytes stay deterministic.
         payload = {
-            "baseline": {name: base[name].as_dict() for name in names},
-            "feature": {name: feature[name].as_dict() for name in names},
+            "baseline": {name: base[name].as_dict()
+                         for name in names if name in base},
+            "feature": {name: feature[name].as_dict()
+                        for name in names if name in feature},
+            "failures": report.failures,
         }
         with open(args.out, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote %s" % args.out)
-    return 0
+    return 3 if report.jobs_failed else 0
 
 
 def cmd_cache_stats(_args):
@@ -213,6 +232,10 @@ def build_parser():
                             "(default; two-speed simulation)")
         p.add_argument("--no-ff", dest="fast_forward", action="store_false",
                        help="simulate the warmup window in full detail")
+        p.add_argument("--check-invariants", nargs="?", const=64, type=int,
+                       default=None, metavar="K",
+                       help="sweep the microarchitectural invariant net "
+                            "every K cycles (default 64; 0 disables)")
 
     run_parser = sub.add_parser("run", help="simulate one workload")
     run_parser.add_argument("workload")
@@ -252,6 +275,26 @@ def build_parser():
                                    "or the CPU count)")
     suite_parser.add_argument("--out", default=None,
                               help="write per-workload result JSON to a file")
+    suite_parser.add_argument("--keep-going", action="store_true",
+                              help="record terminal job failures in a "
+                                   "manifest and finish the rest of the "
+                                   "matrix (exit code 3 when any job "
+                                   "failed) instead of aborting")
+    suite_parser.add_argument("--resume", action="store_true",
+                              help="report how much of the matrix was "
+                                   "served from the cache — with the "
+                                   "incremental commit this makes a rerun "
+                                   "after an interruption simulate only "
+                                   "the unfinished jobs")
+    suite_parser.add_argument("--job-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="watchdog deadline per job attempt "
+                                   "(default derived from --length; 0 "
+                                   "disables)")
+    suite_parser.add_argument("--retries", type=int, default=None,
+                              metavar="N",
+                              help="retries for crashed or hung jobs "
+                                   "(default REPRO_JOB_RETRIES or 2)")
     add_sim_args(suite_parser)
     suite_parser.set_defaults(func=cmd_suite)
 

@@ -27,6 +27,7 @@ from repro.core import dyninstr as D
 from repro.core.dyninstr import DynInstr
 from repro.core.frontend import Frontend
 from repro.core.hit_miss import HitMissPredictor
+from repro.core.invariants import check_core, format_report, interval_from_env
 from repro.core.lsq import LoadQueue, MemDepPredictor, StoreQueue
 from repro.core.rename import INFINITY, PhysicalRegisterFile, RenameUnit
 from repro.core.rob import ReorderBuffer
@@ -56,10 +57,18 @@ def event_loop_env_disabled(environ=None):
 class OOOCore(object):
     """A single-core, single-trace out-of-order pipeline simulation."""
 
-    def __init__(self, trace, config, record_commits=False, tracer=None):
+    def __init__(self, trace, config, record_commits=False, tracer=None,
+                 check_invariants=None):
         config.validate()
         self.trace = trace
         self.config = config
+        #: Invariant-net sweep interval in cycles (0 = off).  ``None``
+        #: defers to ``REPRO_CHECK_INVARIANTS`` so CLI flags and parallel
+        #: workers pick the knob up from the environment.
+        self.invariant_interval = (
+            check_invariants if check_invariants is not None
+            else interval_from_env()
+        )
         #: Observability hook (:class:`~repro.obs.tracer.Tracer`) or None.
         #: Every use is guarded by ``if tracer is not None`` so the disabled
         #: path costs one pointer test per hook site.
@@ -159,24 +168,36 @@ class OOOCore(object):
         # objects are mutated in place, never rebound).
         cursor = frontend.cursor
         fetch_buffer = frontend.buffer
+        # Invariant net: sweep every ``invariant_interval`` cycles between
+        # steps (state is architecturally consistent only at cycle
+        # boundaries).  Disabled (interval 0) this costs one falsy-int
+        # test per iteration.
+        inv_every = self.invariant_interval
+        inv_next = self.cycle + inv_every if inv_every else 0
         while cursor.index < cursor._length or fetch_buffer or rob_entries:
             if self.cycle > limit:
                 head = rob_entries[0] if rob_entries else None
                 # The wheels distinguish a stalled-event bug (an event is
                 # scheduled but the loop never reaches it) from a true
-                # scheduling deadlock (nothing is pending at all).
+                # scheduling deadlock (nothing is pending at all); the
+                # invariant-net snapshot makes the hang actionable from
+                # the failure manifest alone.
                 pending = [self.events.next_cycle(), self.rs.wheel.next_cycle()]
                 pending = [c for c in pending if c is not None]
                 raise RuntimeError(
                     "simulation of workload %r under config %r exceeded "
                     "%d cycles at trace index %d (ROB head seq=%s; "
-                    "timing wheel %s; likely deadlock)"
+                    "timing wheel %s; likely deadlock)\n%s"
                     % (self.trace.name, self.config.name, limit,
                        frontend.cursor.index,
                        head.seq if head is not None else "<empty>",
                        "next event at cycle %d" % min(pending)
-                       if pending else "empty")
+                       if pending else "empty",
+                       format_report(self))
                 )
+            if inv_every and self.cycle >= inv_next:
+                check_core(self)
+                inv_next = self.cycle + inv_every
             if not idle_skip:
                 step()
                 continue
@@ -186,6 +207,8 @@ class OOOCore(object):
             if (stats.instructions, stats.issued, self.next_seq,
                     frontend.fetched) == before:
                 self._skip_idle_cycles()
+        if inv_every:
+            check_core(self)  # final sweep over the drained machine
         self.stats.cycles = self.cycle
         return self
 

@@ -339,6 +339,40 @@ class ReservationStation(object):
             self.entries = [d for d in self.entries if id(d) not in left]
         return issued
 
+    def invariant_violations(self):
+        """Window-bookkeeping findings for :mod:`repro.core.invariants`.
+
+        The event-driven engine departs entries lazily (``in_rs`` flips,
+        ``live``/``_dead`` counters move, the list compacts later) — this
+        re-derives the counters from the window and reports any drift.
+        """
+        out = []
+        if self.replay_debt < 0:
+            out.append("RS replay debt negative: %d" % self.replay_debt)
+        if not self.event_driven:
+            if len(self.entries) > self._rs_entries:
+                out.append(
+                    "RS over capacity: %d/%d"
+                    % (len(self.entries), self._rs_entries)
+                )
+            return out
+        alive = sum(1 for dyn in self.entries if dyn.in_rs)
+        if alive != self.live:
+            out.append(
+                "RS live counter drift: counter says %d, window holds %d "
+                "resident entries" % (self.live, alive)
+            )
+        if len(self.entries) - alive != self._dead:
+            out.append(
+                "RS dead counter drift: counter says %d, window holds %d "
+                "departed entries" % (self._dead, len(self.entries) - alive)
+            )
+        if self.live > self._rs_entries:
+            out.append(
+                "RS over capacity: %d/%d" % (self.live, self._rs_entries)
+            )
+        return out
+
     def charge_replays(self, dest_preg):
         """Count current consumers of ``dest_preg`` as replayed dependents.
 

@@ -211,6 +211,17 @@ class RFPEngine(object):
             self.critical_pcs.pop(next(iter(self.critical_pcs)))
         self.critical_pcs[pc] = True
 
+    def invariant_violations(self):
+        """RFP-side findings for :mod:`repro.core.invariants`."""
+        out = []
+        if len(self.queue) > self.rfp_config.queue_entries:
+            out.append(
+                "RFP queue over capacity: %d/%d"
+                % (len(self.queue), self.rfp_config.queue_entries)
+            )
+        out.extend(self.pt.inflight_violations())
+        return out
+
     # ------------------------------------------------------------------
     # the per-cycle pump
 

@@ -239,6 +239,33 @@ class PrefetchTable(object):
     def occupancy(self):
         return sum(len(s) for s in self.sets)
 
+    def inflight_total(self):
+        """Sum of every entry's inflight counter (diagnostic snapshot)."""
+        return sum(e.inflight for s in self.sets for e in s.values())
+
+    def inflight_violations(self):
+        """Entries whose inflight counter or tag index is corrupt.
+
+        The counter is incremented at allocate and decremented at
+        commit/squash with a saturation floor; anything outside
+        ``[0, inflight_max]`` means a hook fired twice or not at all.
+        """
+        out = []
+        for set_index, ways in enumerate(self.sets):
+            for tag, entry in ways.items():
+                if not 0 <= entry.inflight <= self.inflight_max:
+                    out.append(
+                        "PT inflight counter out of range: set %d tag %#x "
+                        "inflight=%d (max %d)"
+                        % (set_index, tag, entry.inflight, self.inflight_max)
+                    )
+                if entry.tag != tag:
+                    out.append(
+                        "PT entry misfiled: set %d key %#x holds entry "
+                        "tagged %#x" % (set_index, tag, entry.tag)
+                    )
+        return out
+
     def __repr__(self):
         return "<PrefetchTable %d entries %d-way conf<=%d>" % (
             self.num_entries,

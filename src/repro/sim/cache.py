@@ -15,14 +15,25 @@ Concurrency: writes go through a per-process temporary file followed by an
 atomic ``os.replace``, and a corrupted or partially-written entry is
 treated as a miss and rewritten — safe when several parent processes fill
 the same directory.
+
+Integrity: every entry is stored as ``{"checksum": ..., "data": ...}``
+where the checksum hashes the canonical JSON of the payload.  A truncated
+file, malformed JSON, a legacy (pre-envelope) entry, or a payload that no
+longer matches its checksum is classified, **evicted** (the file is
+removed with a warning naming the key), and the job re-simulated — a
+flipped bit on disk costs one redundant simulation, never a wrong figure.
+Evictions are recorded on :attr:`ResultCache.eviction_log` so the parallel
+engine can fold them into its failure manifest.
 """
 
 import dataclasses
 import hashlib
 import json
 import os
+import warnings
 
 from repro.core.core import event_loop_env_disabled
+from repro.sim import faults
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
 from repro.sim.runner import (
     SCHEMA_VERSION,
@@ -30,6 +41,11 @@ from repro.sim.runner import (
     fast_forward_env_disabled,
     simulate,
 )
+
+#: On-disk envelope version.  Mixed into every fingerprint so entries
+#: written in the pre-checksum format become cache misses (and are then
+#: simply unreferenced files) instead of eviction warnings on every read.
+CACHE_FORMAT = 2
 
 
 def config_fingerprint(config):
@@ -44,6 +60,7 @@ def config_fingerprint(config):
     loop for a release is to *prove* that, not assume it.)"""
     payload = {
         "schema": SCHEMA_VERSION,
+        "cache_format": CACHE_FORMAT,
         "config": dataclasses.asdict(config),
         "ff_env_disabled": fast_forward_env_disabled(),
         "event_loop_disabled": event_loop_env_disabled(),
@@ -66,6 +83,10 @@ class ResultCache(object):
         self.directory = directory
         self.hits = 0
         self.misses = 0
+        #: Corruption incidents seen by this process: dicts with ``key``
+        #: and ``reason``.  Drained by the parallel engine's manifest via
+        #: :meth:`pop_evictions`.
+        self.eviction_log = []
 
     def _path(self, key):
         return os.path.join(self.directory, key + ".json")
@@ -73,30 +94,71 @@ class ResultCache(object):
     def key(self, workload, config, length, warmup):
         return "%s-%d-%d-%s" % (workload, length, warmup, config_fingerprint(config))
 
+    @staticmethod
+    def checksum(data):
+        """Content hash of a result payload (canonical-JSON sha256)."""
+        text = json.dumps(data, sort_keys=True, default=str)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
     def get(self, key):
         path = self._path(key)
+        # Deterministic fault injection (REPRO_FAULT=corrupt_cache:key=...):
+        # no-op — a single env lookup — unless faults are requested.
+        faults.corrupt_cache_file(key, path)
         if not os.path.exists(path):
             self.misses += 1
             return None
+        reason = None
         try:
             with open(path) as handle:
-                data = json.load(handle)
+                envelope = json.load(handle)
         except (OSError, ValueError):
-            # Corrupted / partially-written entry: treat as a miss; the
-            # subsequent put() atomically replaces it.
+            reason = "unreadable (truncated or malformed JSON)"
+        else:
+            if (
+                not isinstance(envelope, dict)
+                or "checksum" not in envelope
+                or not isinstance(envelope.get("data"), dict)
+            ):
+                reason = "not a checksummed cache envelope"
+            elif self.checksum(envelope["data"]) != envelope["checksum"]:
+                reason = "checksum mismatch (payload altered on disk)"
+        if reason is not None:
+            self._evict(key, path, reason)
             self.misses += 1
             return None
         self.hits += 1
-        return SimResult(data)
+        return SimResult(envelope["data"])
+
+    def _evict(self, key, path, reason):
+        """Remove a corrupt entry, warn, and log the incident."""
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        self.eviction_log.append({"key": key, "reason": reason})
+        warnings.warn(
+            "evicted corrupt result-cache entry %s: %s — the job will be "
+            "re-simulated" % (key, reason),
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def pop_evictions(self):
+        """Drain and return the corruption incidents seen so far."""
+        log, self.eviction_log = self.eviction_log, []
+        return log
 
     def put(self, key, result):
         os.makedirs(self.directory, exist_ok=True)
         path = self._path(key)
+        data = result.as_dict()
+        envelope = {"checksum": self.checksum(data), "data": data}
         # Per-process temp name so concurrent fillers never clobber each
         # other's in-progress write; os.replace is atomic on POSIX.
         tmp = "%s.%d.tmp" % (path, os.getpid())
         with open(tmp, "w") as handle:
-            json.dump(result.as_dict(), handle)
+            json.dump(envelope, handle)
         os.replace(tmp, path)
 
     # -- maintenance (the CLI's cache-clear / cache-stats) ---------------

@@ -40,7 +40,8 @@ def default_warmup():
 
 
 def run_suite(config, workloads=None, length=None, warmup=None,
-              parallel=None, jobs=None, cache=None, progress=None):
+              parallel=None, jobs=None, cache=None, progress=None,
+              job_timeout=None, retries=None, keep_going=False):
     """Run (cache-backed) every workload under ``config``.
 
     Uncached (workload, config) pairs are fanned out over the
@@ -67,6 +68,7 @@ def run_suite(config, workloads=None, length=None, warmup=None,
     results, _ = run_suite_parallel(
         config, workloads, length, warmup,
         cache=cache, max_workers=max_workers, progress=progress,
+        job_timeout=job_timeout, retries=retries, keep_going=keep_going,
     )
     return results
 
@@ -74,12 +76,17 @@ def run_suite(config, workloads=None, length=None, warmup=None,
 def suite_speedup(feature_results, baseline_results):
     """Per-category and overall geomean speedups plus per-workload ratios.
 
-    Returns ``(per_workload, per_category, overall)``.
+    Returns ``(per_workload, per_category, overall)``.  Workloads present
+    on only one side (a keep-going run dropped the other cell) are skipped
+    — a partial sweep still yields figures for every healthy pair.
     """
     per_workload = {}
     per_category_values = {}
     for name, result in feature_results.items():
-        ratio = speedup(result.ipc, baseline_results[name].ipc)
+        base = baseline_results.get(name)
+        if base is None:
+            continue
+        ratio = speedup(result.ipc, base.ipc)
         per_workload[name] = ratio
         per_category_values.setdefault(result.category, []).append(ratio)
     per_category = {

@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the resilience subsystem.
+
+The recovery machinery in :mod:`repro.sim.parallel` (watchdog, retry with
+backoff, keep-going manifests) and :mod:`repro.sim.cache` (checksum
+eviction) is itself code that can rot; this module makes every error path
+reachable on demand so CI exercises the recovery logic, not just the happy
+path.  Faults are requested through the ``REPRO_FAULT`` environment
+variable — a comma-separated list of specs, each ``kind:param=value:...``:
+
+- ``crash:job=3`` — worker for job index 3 dies (hard ``os._exit`` in a
+  child process, an :class:`InjectedCrash` exception in-process).
+- ``hang:job=5:seconds=120`` — worker for job index 5 sleeps instead of
+  simulating, so the parent's watchdog must kill it.
+- ``corrupt_cache:key=spec06_mcf`` — the first cache entry whose key
+  contains the substring is corrupted on disk before it is read, so the
+  checksum eviction + re-simulation path runs.
+- ``rand:p=0.05:seed=7:modes=crash|hang`` — each (job, attempt) fails with
+  probability ``p``, chosen by a deterministic per-(seed, job, attempt)
+  stream so a given spec always injects the same faults.
+
+Any spec may add ``attempts=K`` to fire only on the first ``K`` attempts
+of a job — the standard way to test that a retry then *succeeds*.  The
+``corrupt_cache`` flavour accepts ``how=truncate|flip`` (truncated file vs
+a well-formed envelope whose payload no longer matches its checksum).
+
+Everything is off (and zero-cost: one env lookup) unless ``REPRO_FAULT``
+is set.
+"""
+
+import json
+import os
+import random
+import time
+
+_VALID_KINDS = ("crash", "hang", "corrupt_cache", "rand")
+
+
+class InjectedFault(RuntimeError):
+    """Base class for deliberately injected failures."""
+
+
+class InjectedCrash(InjectedFault):
+    """A ``crash`` fault firing in-process (child processes hard-exit)."""
+
+
+class FaultSpec(object):
+    """One parsed ``kind:param=value:...`` clause of ``REPRO_FAULT``."""
+
+    __slots__ = ("kind", "params")
+
+    def __init__(self, kind, params):
+        self.kind = kind
+        self.params = params
+
+    def __repr__(self):
+        extra = ":".join("%s=%s" % kv for kv in sorted(self.params.items()))
+        return "<FaultSpec %s%s>" % (self.kind, ":" + extra if extra else "")
+
+    def attempt_allowed(self, attempt):
+        """True when this spec should still fire on ``attempt`` (1-based)."""
+        limit = self.params.get("attempts")
+        return limit is None or attempt <= int(limit)
+
+
+def parse_faults(text):
+    """Parse a ``REPRO_FAULT`` value into a list of :class:`FaultSpec`."""
+    specs = []
+    for clause in (text or "").split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        fields = clause.split(":")
+        kind = fields[0].strip()
+        if kind not in _VALID_KINDS:
+            raise ValueError(
+                "unknown fault kind %r in REPRO_FAULT clause %r "
+                "(expected one of %s)" % (kind, clause, ", ".join(_VALID_KINDS))
+            )
+        params = {}
+        for field in fields[1:]:
+            if "=" not in field:
+                raise ValueError(
+                    "malformed fault parameter %r in REPRO_FAULT clause %r "
+                    "(expected name=value)" % (field, clause)
+                )
+            name, value = field.split("=", 1)
+            params[name.strip()] = value.strip()
+        specs.append(FaultSpec(kind, params))
+    return specs
+
+
+def active_faults(environ=None):
+    """The faults requested by ``REPRO_FAULT`` (empty list when unset)."""
+    environ = environ if environ is not None else os.environ
+    text = environ.get("REPRO_FAULT", "")
+    if not text:
+        return []
+    return parse_faults(text)
+
+
+def _rand_fires(spec, job_index, attempt):
+    """Deterministic coin flip for a ``rand`` spec at (job, attempt)."""
+    seed = int(spec.params.get("seed", "0"))
+    p = float(spec.params.get("p", "0.01"))
+    # One independent, reproducible stream per (seed, job, attempt): the
+    # same spec injects the same faults on every run and in any worker.
+    rng = random.Random(seed * 1000003 + job_index * 1009 + attempt)
+    return rng.random() < p
+
+
+def _rand_mode(spec, job_index, attempt):
+    modes = [m for m in spec.params.get("modes", "crash").split("|") if m]
+    rng = random.Random(job_index * 7919 + attempt * 13 + 1)
+    return modes[rng.randrange(len(modes))] if modes else "crash"
+
+
+def fire_worker_faults(job_index, attempt, in_child, environ=None):
+    """Trigger any crash/hang fault aimed at (job_index, attempt).
+
+    Called at the top of every simulation attempt.  ``in_child`` says
+    whether this attempt runs in a disposable worker process: there a
+    ``crash`` is a hard ``os._exit`` (modelling a segfaulted / OOM-killed
+    worker, which produces *no* Python traceback), while in-process it
+    raises :class:`InjectedCrash` so the host survives.
+    """
+    environ = environ if environ is not None else os.environ
+    if not environ.get("REPRO_FAULT"):
+        return
+    for spec in active_faults(environ):
+        kind = spec.kind
+        if kind == "corrupt_cache":
+            continue
+        if kind == "rand":
+            if not spec.attempt_allowed(attempt):
+                continue
+            if not _rand_fires(spec, job_index, attempt):
+                continue
+            kind = _rand_mode(spec, job_index, attempt)
+        else:
+            target = spec.params.get("job")
+            if target is None or int(target) != job_index:
+                continue
+            if not spec.attempt_allowed(attempt):
+                continue
+        if kind == "hang":
+            time.sleep(float(spec.params.get("seconds", "3600")))
+            # A watchdog kill never lets the sleep return; if it does
+            # (watchdog disabled), fail loudly rather than fake a result.
+            raise InjectedFault(
+                "injected hang for job %d attempt %d outlived its sleep"
+                % (job_index, attempt)
+            )
+        if in_child:
+            os._exit(32)  # no traceback, no IPC goodbye: a true crash
+        raise InjectedCrash(
+            "injected crash for job %d attempt %d" % (job_index, attempt)
+        )
+
+
+_corrupted_paths = set()
+
+
+def corrupt_cache_file(key, path, environ=None):
+    """Corrupt ``path`` on disk when a ``corrupt_cache`` fault targets
+    ``key``; returns the corruption flavour applied or None.
+
+    Runs in the parent immediately before a cache read, and at most once
+    per file per process, so the subsequent re-simulate + rewrite is not
+    re-corrupted within the same run.
+    """
+    environ = environ if environ is not None else os.environ
+    if not environ.get("REPRO_FAULT"):
+        return None
+    for spec in active_faults(environ):
+        if spec.kind != "corrupt_cache":
+            continue
+        needle = spec.params.get("key", "")
+        if needle not in key or path in _corrupted_paths:
+            continue
+        if not os.path.exists(path):
+            continue
+        _corrupted_paths.add(path)
+        how = spec.params.get("how", "truncate")
+        if how == "flip":
+            # Well-formed JSON whose payload no longer matches its
+            # checksum — exercises the checksum-mismatch classification.
+            with open(path) as handle:
+                envelope = json.load(handle)
+            if isinstance(envelope, dict) and isinstance(
+                envelope.get("data"), dict
+            ):
+                envelope["data"]["cycles"] = (
+                    envelope["data"].get("cycles", 0) + 1
+                )
+            with open(path, "w") as handle:
+                json.dump(envelope, handle)
+        else:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            with open(path, "wb") as handle:
+                handle.write(blob[: max(1, len(blob) // 2)])
+        return how
+    return None

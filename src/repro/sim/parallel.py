@@ -1,16 +1,41 @@
-"""Parallel suite execution engine.
+"""Parallel suite execution engine with watchdog, retry, and keep-going.
 
 Per-(workload, config) simulations are embarrassingly parallel — nothing is
 shared between two runs except the on-disk result cache.  This module fans
-a list of jobs out over a ``multiprocessing`` pool while keeping every
+a list of jobs out over supervised worker processes while keeping every
 cache interaction in the parent process:
 
 - the parent checks the :class:`~repro.sim.cache.ResultCache` first, so
-  workers only ever simulate genuine misses;
+  workers only ever simulate genuine misses (corrupt entries are evicted
+  by the cache and re-simulated here);
 - duplicate in-flight keys are deduplicated before submission (two figures
   asking for the same (workload, config, length, warmup) share one run);
-- workers return plain result dicts; the parent writes them to the cache,
-  so concurrent workers never race on disk.
+- workers return plain result dicts over a pipe; the parent writes them to
+  the cache **incrementally**, so concurrent workers never race on disk
+  and an interrupted run keeps everything already finished.
+
+Resilience (one worker process per job, supervised by the parent):
+
+- **Watchdog**: every job gets a soft wall-clock deadline (``job_timeout``
+  / ``REPRO_JOB_TIMEOUT``; default derived from the instruction count; 0
+  disables).  A worker that blows its deadline is killed.
+- **Retry with backoff**: crashed or timed-out jobs are retried with a
+  fresh worker up to ``retries`` times (``REPRO_JOB_RETRIES``, default 2),
+  with exponential backoff (``REPRO_RETRY_BACKOFF`` base seconds, default
+  0.5).  Deterministic Python exceptions are *not* retried — the same
+  input would fail the same way.
+- **Keep-going**: with ``keep_going=True`` a terminal failure is recorded
+  in the :class:`TimingReport`'s failure manifest (workload, config,
+  classification ``crash``/``timeout``/``deadlock``/``corrupt_cache``/
+  ``error``, attempts, traceback detail) and its result slot is ``None``;
+  the default re-raises a :class:`WorkerError` after shutting the workers
+  down.
+- **SIGINT-safe finalization**: Ctrl-C sets a flag, active workers are
+  terminated, and ``KeyboardInterrupt`` is re-raised *after* the orderly
+  shutdown — every completed job is already committed to the cache, so a
+  re-run (``repro suite --resume``) simulates only the remainder.
+- **Fault injection**: :mod:`repro.sim.faults` (``REPRO_FAULT``) drives
+  every one of these paths deterministically in CI.
 
 The worker entry point is a module-level function and every job payload is
 picklable, so the engine is safe under the ``spawn`` start method (macOS /
@@ -25,6 +50,8 @@ Knobs:
 - ``REPRO_MP_START`` — multiprocessing start method.
 - ``REPRO_PROGRESS`` — when set (non-empty, not "0"), stream per-job
   progress lines to stderr even if no explicit callback is given.
+- ``REPRO_JOB_TIMEOUT`` / ``REPRO_JOB_RETRIES`` / ``REPRO_RETRY_BACKOFF``
+  — watchdog deadline seconds, retry budget, backoff base seconds.
 
 Results are deterministic and byte-identical to serial execution: each
 simulation is seeded purely by (workload name, config), and the returned
@@ -34,38 +61,58 @@ mapping is assembled in job order, not completion order.
 import multiprocessing
 import os
 import shutil
+import signal
 import sys
 import tempfile
+import threading
 import time
 import traceback
+from collections import deque
+from multiprocessing.connection import wait as _wait_connections
 
 from repro.obs.export import sort_events, write_jsonl
 from repro.obs.tracer import trace_spec_from_env
+from repro.sim import faults
 from repro.sim.cache import default_cache
 from repro.sim.runner import SimResult, simulate
 from repro.workloads.suite import build_workload
 
+#: Failure-manifest classifications.
+CLASS_CRASH = "crash"              # worker process died / injected crash
+CLASS_TIMEOUT = "timeout"          # watchdog killed a hung worker
+CLASS_DEADLOCK = "deadlock"        # the core's own deadlock detector fired
+CLASS_CORRUPT_CACHE = "corrupt_cache"  # checksum eviction forced a re-run
+CLASS_ERROR = "error"              # deterministic Python exception
+
+#: Only failures that a fresh worker might not reproduce are retried.
+RETRYABLE = frozenset((CLASS_CRASH, CLASS_TIMEOUT))
+
 
 class WorkerError(RuntimeError):
-    """A simulation job failed inside a pool worker.
+    """A simulation job failed inside a worker.
 
     Raised in place of the worker's bare traceback so the parent process
     reports *which* (workload, config) job died — a pool of 65 workloads
     otherwise surfaces an anonymous ``RemoteTraceback``.  Picklable by
-    construction (``__reduce__``) so it survives the pool's IPC.
+    construction (``__reduce__``, which carries all four constructor
+    arguments including the root exception class name), so the traceback
+    detail survives any number of pickle round-trips.
     """
 
-    def __init__(self, workload, config_name, detail):
+    def __init__(self, workload, config_name, detail, root_cause=None):
         self.workload = workload
         self.config_name = config_name
         self.detail = detail
+        self.root_cause = root_cause
         super(WorkerError, self).__init__(
-            "simulation job failed (workload=%s, config=%s)\n%s"
-            % (workload, config_name, detail)
+            "simulation job failed (workload=%s, config=%s%s)\n%s"
+            % (workload, config_name,
+               ", root cause %s" % root_cause if root_cause else "", detail)
         )
 
     def __reduce__(self):
-        return (WorkerError, (self.workload, self.config_name, self.detail))
+        return (WorkerError,
+                (self.workload, self.config_name, self.detail, self.root_cause))
 
 
 def default_jobs():
@@ -84,6 +131,51 @@ def start_method():
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
+def default_retries():
+    """Retry budget per job: ``REPRO_JOB_RETRIES``, default 2."""
+    env = os.environ.get("REPRO_JOB_RETRIES")
+    if env:
+        return max(0, int(env))
+    return 2
+
+
+def retry_backoff_base():
+    """Backoff base seconds (doubles per retry): ``REPRO_RETRY_BACKOFF``."""
+    env = os.environ.get("REPRO_RETRY_BACKOFF")
+    if env:
+        return max(0.0, float(env))
+    return 0.5
+
+
+def resolve_job_timeout(job_timeout, length):
+    """Watchdog deadline in seconds for one job, or None (disabled).
+
+    Precedence: explicit argument, then ``REPRO_JOB_TIMEOUT``, then a
+    default derived from the instruction count — generous enough that a
+    healthy run never trips it, tight enough that a deadlocked event loop
+    is killed in minutes, not hours.  Zero or negative disables.
+    """
+    if job_timeout is not None:
+        return job_timeout if job_timeout > 0 else None
+    env = os.environ.get("REPRO_JOB_TIMEOUT")
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            value = 0.0
+        return value if value > 0 else None
+    return max(60.0, length / 500.0)
+
+
+def classify_failure(detail, root_cause=None):
+    """Map a worker-side traceback to a manifest classification."""
+    if root_cause == "InjectedCrash":
+        return CLASS_CRASH
+    if detail and "likely deadlock" in detail:
+        return CLASS_DEADLOCK
+    return CLASS_ERROR
+
+
 def _env_progress_enabled():
     value = os.environ.get("REPRO_PROGRESS", "")
     return value not in ("", "0")
@@ -98,7 +190,7 @@ def _stderr_progress(done, total, workload, config_name, seconds, source):
 
 
 class TimingReport(object):
-    """Wall-clock accounting for one :func:`run_jobs` invocation."""
+    """Wall-clock and failure accounting for one :func:`run_jobs` call."""
 
     __slots__ = (
         "wall_seconds",
@@ -108,11 +200,13 @@ class TimingReport(object):
         "cache_hits",
         "workers",
         "instructions_simulated",
+        "jobs_failed",
+        "failures",
     )
 
     def __init__(self, wall_seconds, jobs_total, jobs_simulated,
                  jobs_deduplicated, cache_hits, workers,
-                 instructions_simulated):
+                 instructions_simulated, jobs_failed=0, failures=None):
         self.wall_seconds = wall_seconds
         self.jobs_total = jobs_total
         self.jobs_simulated = jobs_simulated
@@ -120,6 +214,12 @@ class TimingReport(object):
         self.cache_hits = cache_hits
         self.workers = workers
         self.instructions_simulated = instructions_simulated
+        #: Jobs that exhausted their retries (their result slots are None).
+        self.jobs_failed = jobs_failed
+        #: Failure manifest: one dict per incident — terminal failures plus
+        #: recovered ones (successful retries, corrupt-cache evictions),
+        #: the latter flagged ``recovered=True``.
+        self.failures = failures if failures is not None else []
 
     @property
     def instructions_per_second(self):
@@ -145,28 +245,54 @@ class TimingReport(object):
                 "  %d instructions simulated, %.0f instr/s aggregate"
                 % (self.instructions_simulated, self.instructions_per_second)
             )
+        if self.jobs_failed:
+            lines.append(
+                "  %d job%s failed terminally (see the failure manifest)"
+                % (self.jobs_failed, "" if self.jobs_failed == 1 else "s")
+            )
         return "\n".join(lines)
 
     def __repr__(self):
         return "<TimingReport %d jobs %.2fs>" % (self.jobs_total, self.wall_seconds)
 
 
-def _run_job(item):
-    """Worker entry point: simulate one (key, job, trace_path) triple.
+def format_failures(failures):
+    """Render a failure manifest for humans (one line per incident)."""
+    if not failures:
+        return "no failures"
+    lines = ["failure manifest (%d incident%s):"
+             % (len(failures), "" if len(failures) == 1 else "s")]
+    for record in failures:
+        lines.append(
+            "  [%s] %s under %s: %d attempt%s, %s%s"
+            % (record["classification"], record["workload"], record["config"],
+               record["attempts"], "" if record["attempts"] == 1 else "s",
+               "recovered" if record["recovered"] else "TERMINAL",
+               " (root cause %s)" % record["root_cause"]
+               if record.get("root_cause") else "")
+        )
+    return "\n".join(lines)
 
+
+def _run_job(item):
+    """Worker body: simulate one job.
+
+    ``item`` is ``(key, job, trace_path, job_index, attempt, in_child)``.
     Module-level (not a closure) so it can be pickled by reference under
     the ``spawn`` start method.  Returns the JSON-friendly result payload —
     never a :class:`SimResult` — to keep the IPC surface minimal.
 
     When ``trace_path`` is set (REPRO_TRACE enabled), the worker attaches a
     tracer and streams the job's sorted event log to that per-job file; the
-    parent merges the files in job order after the pool drains.  Failures
+    parent merges the files in job order after the run drains.  Failures
     are re-raised as :class:`WorkerError` carrying the (workload, config)
-    key plus the worker-side traceback.
+    key plus the worker-side traceback and root exception class.
     """
-    key, (workload, config, length, warmup), trace_path = item
+    key, (workload, config, length, warmup), trace_path = item[:3]
+    job_index, attempt, in_child = item[3:]
     started = time.perf_counter()
     try:
+        faults.fire_worker_faults(job_index, attempt, in_child)
         tracer = None
         if trace_path is not None:
             spec = trace_spec_from_env()
@@ -175,36 +301,148 @@ def _run_job(item):
                           tracer=tracer)
         if tracer is not None:
             write_jsonl(sort_events(tracer.events), trace_path)
-    except Exception:
+    except Exception as exc:
         name = workload if isinstance(workload, str) else workload.name
-        raise WorkerError(name, config.name, traceback.format_exc())
+        raise WorkerError(name, config.name, traceback.format_exc(),
+                          root_cause=type(exc).__name__)
     return key, result.data, time.perf_counter() - started
 
 
-def run_jobs(jobs, cache=None, max_workers=None, progress=None):
-    """Run (workload, config, length, warmup) jobs through the cache + pool.
+def _job_worker(item, conn):
+    """Child-process wrapper: run the job, report over ``conn``, exit.
+
+    Protocol: ``("ok", key, data, seconds)`` on success, ``("err",
+    workload, config_name, detail, root_cause)`` on a handled failure.  A
+    worker that dies without sending anything (hard crash, kill) is
+    detected by the parent as EOF on the pipe.
+    """
+    try:
+        try:
+            key, data, seconds = _run_job(item)
+            conn.send(("ok", key, data, seconds))
+        except WorkerError as err:
+            conn.send(("err", err.workload, err.config_name, err.detail,
+                       err.root_cause))
+    except BaseException:
+        pass  # broken pipe / interpreter teardown: parent sees EOF
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _PendingJob(object):
+    """Supervisor-side state for one deduplicated cache miss."""
+
+    __slots__ = ("key", "job", "index", "trace_path", "tries", "next_start",
+                 "last_class", "last_detail", "last_root", "corrupt_record")
+
+    def __init__(self, key, job, index, trace_path):
+        self.key = key
+        self.job = job
+        self.index = index
+        self.trace_path = trace_path
+        self.tries = 0          # completed (failed) attempts so far
+        self.next_start = 0.0   # backoff eligibility (time.monotonic)
+        self.last_class = None
+        self.last_detail = None
+        self.last_root = None
+        self.corrupt_record = None  # manifest entry for a cache eviction
+
+    @property
+    def workload_name(self):
+        workload = self.job[0]
+        return workload if isinstance(workload, str) else workload.name
+
+    @property
+    def config_name(self):
+        return self.job[1].name
+
+
+class _SigintGuard(object):
+    """Turn SIGINT into a flag so run_jobs can shut workers down first.
+
+    Only installs a handler in the main thread of the main interpreter
+    (``signal.signal`` raises ValueError elsewhere); otherwise the flag
+    simply never trips and Python's default behaviour applies.
+    """
+
+    def __init__(self):
+        self.triggered = False
+        self._previous = None
+        self._installed = False
+
+    def __enter__(self):
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._previous = signal.signal(signal.SIGINT, self._handle)
+                self._installed = True
+            except ValueError:
+                pass
+        return self
+
+    def _handle(self, _signum, _frame):
+        self.triggered = True
+
+    def __exit__(self, *_exc_info):
+        if self._installed:
+            signal.signal(signal.SIGINT, self._previous)
+        return False
+
+
+def _stop_worker(process):
+    """Terminate (then kill) a worker and reap it."""
+    if process.is_alive():
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():
+            process.kill()
+            process.join(1.0)
+    else:
+        process.join(0)
+
+
+def run_jobs(jobs, cache=None, max_workers=None, progress=None,
+             job_timeout=None, retries=None, keep_going=False):
+    """Run (workload, config, length, warmup) jobs through the cache and a
+    supervised worker-per-job engine.
 
     Args:
         jobs: sequence of ``(workload, config, length, warmup)`` tuples.
         cache: a :class:`~repro.sim.cache.ResultCache`; defaults to the
-            shared on-disk cache.
-        max_workers: pool size; defaults to :func:`default_jobs`.  The pool
-            is skipped entirely (plain in-process loop) when one worker
-            suffices, so ``REPRO_JOBS=1`` gives the exact serial behaviour.
+            shared on-disk cache.  Completed jobs are committed to it
+            incrementally (checkpointing), so an interrupted run resumes
+            from where it stopped.
+        max_workers: concurrent worker cap; defaults to
+            :func:`default_jobs`.  The supervisor is skipped entirely
+            (plain in-process loop) when one worker suffices, so
+            ``REPRO_JOBS=1`` gives the exact serial behaviour.
         progress: optional callback
             ``(done, total, workload, config_name, seconds, source)`` with
-            ``source`` one of ``"cache"``, ``"run"``, ``"dedup"``.  When
-            omitted, ``REPRO_PROGRESS=1`` enables a stderr printer.
+            ``source`` one of ``"cache"``, ``"run"``, ``"dedup"``,
+            ``"retry"``, ``"fail"``.  When omitted, ``REPRO_PROGRESS=1``
+            enables a stderr printer.
+        job_timeout: watchdog deadline seconds per attempt (None = env /
+            derived default, 0 = disabled); see :func:`resolve_job_timeout`.
+        retries: extra attempts for crashed/timed-out jobs (None = env
+            default 2).  Deterministic exceptions are never retried.
+        keep_going: record terminal failures in the report's manifest and
+            return ``None`` in their result slots instead of raising.
 
     Returns:
         ``(results, report)`` — ``results`` is a list of
-        :class:`~repro.sim.runner.SimResult` in job order, ``report`` a
-        :class:`TimingReport`.
+        :class:`~repro.sim.runner.SimResult` (or ``None`` for failed jobs
+        under ``keep_going``) in job order, ``report`` a
+        :class:`TimingReport` carrying the failure manifest.
     """
     jobs = list(jobs)
     cache = cache if cache is not None else default_cache()
     if max_workers is None:
         max_workers = default_jobs()
+    if retries is None:
+        retries = default_retries()
+    backoff = retry_backoff_base()
     if progress is None and _env_progress_enabled():
         progress = _stderr_progress
     started = time.perf_counter()
@@ -217,11 +455,12 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
     trace_spec = trace_spec_from_env()
 
     keys = [cache.key(w, c, lgth, wrm) for (w, c, lgth, wrm) in jobs]
-    by_key = {}        # key -> SimResult (hits now, fills later)
+    by_key = {}        # key -> SimResult (hits now, fills later; None=failed)
     pending = {}       # key -> job: deduplicated in-flight misses
     cache_hits = 0
     deduplicated = 0
     done = 0
+    cache.pop_evictions()  # stale incidents from earlier runs are not ours
     for key, job in zip(keys, jobs):
         if key in by_key:
             deduplicated += 1
@@ -251,11 +490,78 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
             return None
         return os.path.join(trace_dir, "job-%06d.jsonl" % index)
 
-    misses = [
-        (key, job, _trace_path(index))
+    miss_jobs = [
+        _PendingJob(key, job, index, _trace_path(index))
         for index, (key, job) in enumerate(pending.items())
     ]
-    workers = max(1, min(max_workers, len(misses)))
+
+    # Corrupt entries evicted during the scan above: record the incident,
+    # flip it to recovered once the re-simulation lands.
+    failures = []
+    by_miss_key = {pj.key: pj for pj in miss_jobs}
+    for incident in cache.pop_evictions():
+        pj = by_miss_key.get(incident["key"])
+        if pj is None:
+            continue
+        record = {
+            "workload": pj.workload_name,
+            "config": pj.config_name,
+            "job_index": pj.index,
+            "classification": CLASS_CORRUPT_CACHE,
+            "attempts": 0,
+            "recovered": False,
+            "detail": incident["reason"],
+            "root_cause": None,
+        }
+        pj.corrupt_record = record
+        failures.append(record)
+
+    def _record_success(pj, data, seconds):
+        nonlocal done
+        result = SimResult(data)
+        if trace_spec is None:
+            cache.put(pj.key, result)  # parent-only, incremental commit
+        by_key[pj.key] = result
+        done += 1
+        if pj.corrupt_record is not None:
+            pj.corrupt_record["recovered"] = True
+            pj.corrupt_record["attempts"] = pj.tries + 1
+        if pj.tries:
+            # Recovered after failed attempts: an incident worth a record,
+            # but not a terminal failure.
+            failures.append({
+                "workload": pj.workload_name,
+                "config": pj.config_name,
+                "job_index": pj.index,
+                "classification": pj.last_class,
+                "attempts": pj.tries + 1,
+                "recovered": True,
+                "detail": pj.last_detail,
+                "root_cause": pj.last_root,
+            })
+        if progress:
+            progress(done, total, data["workload"], data["config"],
+                     seconds, "run")
+
+    def _record_terminal(pj):
+        nonlocal done
+        failures.append({
+            "workload": pj.workload_name,
+            "config": pj.config_name,
+            "job_index": pj.index,
+            "classification": pj.last_class,
+            "attempts": pj.tries,
+            "recovered": False,
+            "detail": pj.last_detail,
+            "root_cause": pj.last_root,
+        })
+        by_key[pj.key] = None
+        done += 1
+        if progress:
+            progress(done, total, pj.workload_name, pj.config_name,
+                     0.0, "fail")
+
+    workers = max(1, min(max_workers, len(miss_jobs)))
     if workers > 1 and start_method() == "fork":
         # Trace reuse across configs: a matrix run names each workload once
         # per config, but the trace depends only on (workload, length).
@@ -263,8 +569,8 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
         # all workers inherit the populated build_workload lru_cache via
         # copy-on-write pages instead of regenerating it per job.
         unique = {
-            (job[0], job[2]) for _, job, _ in misses
-            if isinstance(job[0], str)
+            (pj.job[0], pj.job[2]) for pj in miss_jobs
+            if isinstance(pj.job[0], str)
         }
         for name, length in sorted(unique):
             try:
@@ -274,80 +580,199 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None):
                 # its worker, where it is wrapped in a WorkerError naming
                 # the (workload, config) that died.
                 pass
+    fatal = None
     try:
         if workers == 1:
-            # In-process path: no pool start-up cost, identical results.
-            for item in misses:
-                key, data, seconds = _run_job(item)
-                result = SimResult(data)
-                if trace_spec is None:
-                    cache.put(key, result)
-                by_key[key] = result
-                done += 1
-                if progress:
-                    progress(done, total, data["workload"], data["config"],
-                             seconds, "run")
-        elif misses:
+            # In-process path: no supervisor, identical results.  Crashes
+            # injected here raise InjectedCrash (never os._exit) and are
+            # retried in place; there is no watchdog — a hang would hang
+            # the caller, which is exactly the serial contract.
+            for pj in miss_jobs:
+                while True:
+                    item = (pj.key, pj.job, pj.trace_path,
+                            pj.index, pj.tries + 1, False)
+                    try:
+                        _key, data, seconds = _run_job(item)
+                    except WorkerError as err:
+                        pj.tries += 1
+                        pj.last_class = classify_failure(err.detail,
+                                                         err.root_cause)
+                        pj.last_detail = err.detail
+                        pj.last_root = err.root_cause
+                        if pj.last_class in RETRYABLE and pj.tries <= retries:
+                            if progress:
+                                progress(done, total, pj.workload_name,
+                                         pj.config_name, 0.0, "retry")
+                            time.sleep(backoff * (2 ** (pj.tries - 1)))
+                            continue
+                        if keep_going:
+                            _record_terminal(pj)
+                            break
+                        raise
+                    else:
+                        _record_success(pj, data, seconds)
+                        break
+        elif miss_jobs:
             ctx = multiprocessing.get_context(start_method())
-            pool = ctx.Pool(processes=workers)
-            try:
-                for key, data, seconds in pool.imap_unordered(_run_job, misses):
-                    result = SimResult(data)
-                    if trace_spec is None:
-                        cache.put(key, result)   # parent-only disk writes
-                    by_key[key] = result
-                    done += 1
+            queue = deque(miss_jobs)
+            active = {}  # recv_conn -> (pj, process, deadline)
+
+            def _launch(pj):
+                recv_conn, send_conn = ctx.Pipe(duplex=False)
+                item = (pj.key, pj.job, pj.trace_path,
+                        pj.index, pj.tries + 1, True)
+                process = ctx.Process(target=_job_worker,
+                                      args=(item, send_conn), daemon=True)
+                process.start()
+                send_conn.close()
+                timeout = resolve_job_timeout(job_timeout, pj.job[2])
+                deadline = (time.monotonic() + timeout
+                            if timeout is not None else None)
+                active[recv_conn] = (pj, process, deadline)
+
+            def _fail_attempt(pj, classification, detail, root_cause):
+                nonlocal fatal
+                pj.tries += 1
+                pj.last_class = classification
+                pj.last_detail = detail
+                pj.last_root = root_cause
+                if classification in RETRYABLE and pj.tries <= retries:
+                    pj.next_start = (time.monotonic()
+                                     + backoff * (2 ** (pj.tries - 1)))
+                    queue.append(pj)
                     if progress:
-                        progress(done, total, data["workload"], data["config"],
-                                 seconds, "run")
-            finally:
-                pool.close()
-                pool.join()
+                        progress(done, total, pj.workload_name,
+                                 pj.config_name, 0.0, "retry")
+                    return
+                if keep_going:
+                    _record_terminal(pj)
+                    return
+                fatal = WorkerError(pj.workload_name, pj.config_name,
+                                    detail, root_cause)
+
+            with _SigintGuard() as guard:
+                while (queue or active) and fatal is None \
+                        and not guard.triggered:
+                    # Launch every eligible job up to the worker cap.
+                    now = time.monotonic()
+                    for _ in range(len(queue)):
+                        if len(active) >= workers:
+                            break
+                        pj = queue.popleft()
+                        if pj.next_start <= now:
+                            _launch(pj)
+                        else:
+                            queue.append(pj)  # still backing off
+                    if not active:
+                        # Everything is backing off: sleep to eligibility
+                        # (capped so SIGINT stays responsive).
+                        soonest = min(pj.next_start for pj in queue)
+                        time.sleep(min(max(soonest - now, 0.0), 0.05))
+                        continue
+                    # Short timeout: the wait doubles as the poll tick for
+                    # deadlines, backoff eligibility, and the SIGINT flag.
+                    for conn in _wait_connections(list(active), timeout=0.05):
+                        pj, process, _deadline = active.pop(conn)
+                        try:
+                            message = conn.recv()
+                        except (EOFError, OSError):
+                            message = None
+                        conn.close()
+                        process.join()
+                        if message is not None and message[0] == "ok":
+                            _record_success(pj, message[2], message[3])
+                        elif message is not None:
+                            _, _wl, _cfg, detail, root_cause = message
+                            _fail_attempt(
+                                pj, classify_failure(detail, root_cause),
+                                detail, root_cause)
+                        else:
+                            _fail_attempt(
+                                pj, CLASS_CRASH,
+                                "worker process died without a result "
+                                "(exit code %s) on attempt %d"
+                                % (process.exitcode, pj.tries + 1), None)
+                    now = time.monotonic()
+                    for conn, (pj, process, deadline) in list(active.items()):
+                        if deadline is not None and now >= deadline:
+                            del active[conn]
+                            _stop_worker(process)
+                            conn.close()
+                            _fail_attempt(
+                                pj, CLASS_TIMEOUT,
+                                "watchdog: attempt %d exceeded its %.1fs "
+                                "deadline; worker killed"
+                                % (pj.tries + 1,
+                                   resolve_job_timeout(job_timeout,
+                                                       pj.job[2])), None)
+                # Orderly shutdown for every early-exit path (SIGINT or a
+                # fatal failure): no orphaned workers, no zombies.
+                for conn, (pj, process, _deadline) in active.items():
+                    _stop_worker(process)
+                    conn.close()
+                active.clear()
+                if guard.triggered:
+                    raise KeyboardInterrupt
+            if fatal is not None:
+                raise fatal
         if trace_dir is not None:
             # Merge per-job event logs in job (not completion) order; the
             # result is byte-identical however many workers ran.
             with open(trace_spec.path, "wb") as merged:
-                for _, _, path in misses:
-                    if os.path.exists(path):
-                        with open(path, "rb") as part:
+                for pj in miss_jobs:
+                    if os.path.exists(pj.trace_path):
+                        with open(pj.trace_path, "rb") as part:
                             shutil.copyfileobj(part, merged)
     finally:
         if trace_dir is not None:
             shutil.rmtree(trace_dir, ignore_errors=True)
 
+    failures.sort(key=lambda record: (record["job_index"],
+                                      record["recovered"]))
     report = TimingReport(
         wall_seconds=time.perf_counter() - started,
         jobs_total=total,
-        jobs_simulated=len(misses),
+        jobs_simulated=len(miss_jobs),
         jobs_deduplicated=deduplicated,
         cache_hits=cache_hits,
-        workers=workers if misses else 0,
+        workers=workers if miss_jobs else 0,
         instructions_simulated=sum(
-            by_key[key].data["total_instructions"] for key, _, _ in misses
+            by_key[pj.key].data["total_instructions"]
+            for pj in miss_jobs
+            if by_key.get(pj.key) is not None
         ),
+        jobs_failed=sum(1 for r in failures if not r["recovered"]
+                        and r["classification"] != CLASS_CORRUPT_CACHE),
+        failures=failures,
     )
     # Job order, not completion order: deterministic output.
-    return [by_key[key] for key in keys], report
+    return [by_key.get(key) for key in keys], report
 
 
 def run_suite_parallel(config, workloads, length, warmup,
-                       cache=None, max_workers=None, progress=None):
+                       cache=None, max_workers=None, progress=None,
+                       job_timeout=None, retries=None, keep_going=False):
     """Fan one config across ``workloads``; returns ``({name: SimResult},
-    TimingReport)``."""
+    TimingReport)``.  Under ``keep_going``, failed workloads are simply
+    absent from the mapping (the report's manifest names them)."""
     jobs = [(name, config, length, warmup) for name in workloads]
     results, report = run_jobs(jobs, cache=cache, max_workers=max_workers,
-                               progress=progress)
-    return dict(zip(workloads, results)), report
+                               progress=progress, job_timeout=job_timeout,
+                               retries=retries, keep_going=keep_going)
+    return {name: result for name, result in zip(workloads, results)
+            if result is not None}, report
 
 
 def run_matrix(configs, workloads, length, warmup,
-               cache=None, max_workers=None, progress=None):
-    """Fan the full (config x workload) cross-product through one pool.
+               cache=None, max_workers=None, progress=None,
+               job_timeout=None, retries=None, keep_going=False):
+    """Fan the full (config x workload) cross-product through one engine.
 
     Submitting every cell at once keeps all workers busy across config
     boundaries (a per-config pool would drain to a straggler at each
     boundary).  Returns ``([{name: SimResult}, ...] in config order,
-    TimingReport)``.
+    TimingReport)``; under ``keep_going``, failed cells are absent from
+    their config's mapping and named in the report's failure manifest.
     """
     configs = list(configs)
     workloads = list(workloads)
@@ -357,9 +782,13 @@ def run_matrix(configs, workloads, length, warmup,
         for name in workloads
     ]
     results, report = run_jobs(jobs, cache=cache, max_workers=max_workers,
-                               progress=progress)
+                               progress=progress, job_timeout=job_timeout,
+                               retries=retries, keep_going=keep_going)
     per_config = []
     for i in range(len(configs)):
         chunk = results[i * len(workloads):(i + 1) * len(workloads)]
-        per_config.append(dict(zip(workloads, chunk)))
+        per_config.append({
+            name: result for name, result in zip(workloads, chunk)
+            if result is not None
+        })
     return per_config, report

@@ -201,6 +201,7 @@ def simulate(
     record_commits=False,
     max_cycles=None,
     tracer=None,
+    check_invariants=None,
 ):
     """Simulate ``workload`` (suite name or a Trace) under ``config``.
 
@@ -211,6 +212,11 @@ def simulate(
     ``REPRO_TRACE=<path>`` to have this function attach one and write the
     sorted JSONL event log to ``<path>`` when the run drains.  Either way
     the metrics snapshot lands in ``result.data["obs"]``.
+
+    Invariant net: ``check_invariants`` is a sweep interval in cycles for
+    :mod:`repro.core.invariants` (0 disables; None defers to
+    ``REPRO_CHECK_INVARIANTS``).  The sweep only observes state, so results
+    are identical with checking on or off.
     """
     config = config or baseline()
     if isinstance(workload, str):
@@ -226,7 +232,8 @@ def simulate(
         env_spec = trace_spec_from_env()
         if env_spec is not None:
             tracer = env_spec.build_tracer()
-    core = OOOCore(trace, config, record_commits=record_commits, tracer=tracer)
+    core = OOOCore(trace, config, record_commits=record_commits, tracer=tracer,
+                   check_invariants=check_invariants)
     functional, detailed_warmup = fast_forward_split(config, len(trace), warmup)
     if record_commits or tracer is not None:
         # Commit logs and event traces must cover the whole trace.

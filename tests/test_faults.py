@@ -1,0 +1,344 @@
+"""Fault injection and the resilience subsystem end to end.
+
+Every recovery path in the parallel engine is driven deterministically via
+``REPRO_FAULT``: injected crashes (retryable, then terminal), hangs killed
+by the watchdog, corrupt cache entries evicted and re-simulated, the
+keep-going failure manifest over a 2-config x 4-workload matrix, and
+SIGINT-interrupted runs that resume from the incremental cache.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from conftest import quiet_config
+
+from repro.sim import faults
+from repro.sim.cache import ResultCache
+from repro.sim.parallel import (
+    WorkerError,
+    classify_failure,
+    format_failures,
+    resolve_job_timeout,
+    run_jobs,
+    run_matrix,
+)
+
+WORKLOADS = ["spec06_bzip2", "spec06_mcf", "spec06_perlbench", "spec06_gcc"]
+LENGTH = 1200
+WARMUP = 200
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "src")
+
+
+SCRUBBED = ("REPRO_FAULT", "REPRO_TRACE", "REPRO_JOB_TIMEOUT",
+            "REPRO_JOB_RETRIES")
+
+
+@pytest.fixture(autouse=True)
+def resilience_env(monkeypatch):
+    """Fast backoff, no stray fault/trace state leaking between tests.
+
+    Tests here assign ``os.environ["REPRO_FAULT"]`` directly (the engine
+    and its fork-children read the real environment); monkeypatch only
+    restores variables that existed before the test, so the teardown must
+    scrub explicitly or a fault spec leaks into every later test file.
+    """
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+    for name in SCRUBBED:
+        monkeypatch.delenv(name, raising=False)
+    yield
+    for name in SCRUBBED:
+        os.environ.pop(name, None)
+
+
+def jobs4(config=None):
+    config = config or quiet_config()
+    return [(name, config, LENGTH, WARMUP) for name in WORKLOADS]
+
+
+class TestFaultSpecs:
+    def test_parse_single(self):
+        (spec,) = faults.parse_faults("crash:job=3")
+        assert spec.kind == "crash"
+        assert spec.params == {"job": "3"}
+
+    def test_parse_many(self):
+        specs = faults.parse_faults(
+            "crash:job=1:attempts=1, hang:job=2:seconds=9, corrupt_cache:key=mcf")
+        assert [s.kind for s in specs] == ["crash", "hang", "corrupt_cache"]
+        assert specs[0].attempt_allowed(1)
+        assert not specs[0].attempt_allowed(2)
+        assert specs[1].attempt_allowed(7)  # no attempts bound
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.parse_faults("explode:job=1")
+
+    def test_malformed_param_raises(self):
+        with pytest.raises(ValueError, match="malformed fault parameter"):
+            faults.parse_faults("crash:job")
+
+    def test_empty_env_is_no_faults(self):
+        assert faults.active_faults({}) == []
+        assert faults.active_faults({"REPRO_FAULT": ""}) == []
+
+    def test_rand_mode_is_deterministic(self):
+        (spec,) = faults.parse_faults("rand:p=0.5:seed=7")
+        outcomes = [faults._rand_fires(spec, job, attempt)
+                    for job in range(20) for attempt in (1, 2)]
+        assert outcomes == [faults._rand_fires(spec, job, attempt)
+                            for job in range(20) for attempt in (1, 2)]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_fire_noop_without_env(self):
+        faults.fire_worker_faults(0, 1, in_child=False, environ={})
+
+    def test_injected_crash_in_process(self):
+        env = {"REPRO_FAULT": "crash:job=5"}
+        with pytest.raises(faults.InjectedCrash):
+            faults.fire_worker_faults(5, 1, in_child=False, environ=env)
+        faults.fire_worker_faults(4, 1, in_child=False, environ=env)  # miss
+
+
+class TestKnobs:
+    def test_timeout_precedence(self, monkeypatch):
+        assert resolve_job_timeout(12.5, LENGTH) == 12.5
+        assert resolve_job_timeout(0, LENGTH) is None  # explicit disable
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "33")
+        assert resolve_job_timeout(None, LENGTH) == 33.0
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "0")
+        assert resolve_job_timeout(None, LENGTH) is None
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT")
+        derived = resolve_job_timeout(None, 1_000_000)
+        assert derived == pytest.approx(2000.0)  # length / 500
+        assert resolve_job_timeout(None, 100) == 60.0  # floor
+
+    def test_classification(self):
+        assert classify_failure("...", "InjectedCrash") == "crash"
+        assert classify_failure("cycles ... likely deadlock)") == "deadlock"
+        assert classify_failure("Traceback ...", "KeyError") == "error"
+
+
+class TestCrashRecovery:
+    def test_transient_crash_is_retried_and_recovers(self, tmp_path):
+        os.environ["REPRO_FAULT"] = "crash:job=1:attempts=1"
+        results, report = run_jobs(jobs4(), cache=ResultCache(str(tmp_path)),
+                                   max_workers=2, retries=2, keep_going=True)
+        assert all(r is not None for r in results)
+        assert report.jobs_failed == 0
+        (incident,) = report.failures
+        assert incident["classification"] == "crash"
+        assert incident["recovered"] is True
+        assert incident["attempts"] == 2
+        assert incident["workload"] == WORKLOADS[1]
+
+    def test_persistent_crash_is_terminal_under_keep_going(self, tmp_path):
+        os.environ["REPRO_FAULT"] = "crash:job=1"
+        results, report = run_jobs(jobs4(), cache=ResultCache(str(tmp_path)),
+                                   max_workers=2, retries=1, keep_going=True)
+        assert results[1] is None
+        assert all(r is not None for i, r in enumerate(results) if i != 1)
+        assert report.jobs_failed == 1
+        (record,) = report.failures
+        assert record["classification"] == "crash"
+        assert record["recovered"] is False
+        assert record["attempts"] == 2  # first try + one retry
+        assert record["workload"] == WORKLOADS[1]
+        assert "TERMINAL" in format_failures(report.failures)
+
+    def test_crash_raises_without_keep_going(self, tmp_path):
+        os.environ["REPRO_FAULT"] = "crash:job=0"
+        with pytest.raises(WorkerError) as excinfo:
+            run_jobs(jobs4(), cache=ResultCache(str(tmp_path)),
+                     max_workers=2, retries=0)
+        assert excinfo.value.workload == WORKLOADS[0]
+
+    def test_serial_path_recovers_from_injected_crash(self, tmp_path):
+        os.environ["REPRO_FAULT"] = "crash:job=2:attempts=1"
+        results, report = run_jobs(jobs4(), cache=ResultCache(str(tmp_path)),
+                                   max_workers=1, retries=1, keep_going=True)
+        assert all(r is not None for r in results)
+        assert report.jobs_failed == 0
+        assert report.failures[0]["recovered"] is True
+
+    def test_deterministic_error_is_not_retried(self, tmp_path):
+        jobs = jobs4() + [("no_such_workload", quiet_config(), LENGTH, WARMUP)]
+        results, report = run_jobs(jobs, cache=ResultCache(str(tmp_path)),
+                                   max_workers=2, retries=3, keep_going=True)
+        assert results[-1] is None
+        (record,) = report.failures
+        assert record["classification"] == "error"
+        assert record["attempts"] == 1  # no retry burned on a KeyError
+        assert record["root_cause"] == "KeyError"
+        assert "KeyError" in record["detail"]
+
+
+class TestHangWatchdog:
+    def test_hung_worker_is_killed_and_retried(self, tmp_path):
+        os.environ["REPRO_FAULT"] = "hang:job=2:attempts=1:seconds=60"
+        started = time.monotonic()
+        results, report = run_jobs(jobs4(), cache=ResultCache(str(tmp_path)),
+                                   max_workers=2, job_timeout=1.5,
+                                   retries=1, keep_going=True)
+        assert time.monotonic() - started < 30
+        assert all(r is not None for r in results)
+        assert report.jobs_failed == 0
+        (incident,) = report.failures
+        assert incident["classification"] == "timeout"
+        assert incident["recovered"] is True
+        assert "watchdog" in incident["detail"]
+
+    def test_persistent_hang_is_terminal(self, tmp_path):
+        os.environ["REPRO_FAULT"] = "hang:job=0:seconds=60"
+        results, report = run_jobs(jobs4(), cache=ResultCache(str(tmp_path)),
+                                   max_workers=4, job_timeout=0.75,
+                                   retries=1, keep_going=True)
+        assert results[0] is None
+        assert all(r is not None for r in results[1:])
+        (record,) = report.failures
+        assert record["classification"] == "timeout"
+        assert record["attempts"] == 2
+
+
+class TestCorruptCacheInjection:
+    def test_corrupt_entry_is_classified_and_resimulated(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        first, _ = run_jobs(jobs4(), cache=cache, max_workers=2)
+        os.environ["REPRO_FAULT"] = "corrupt_cache:key=spec06_mcf"
+        with pytest.warns(RuntimeWarning, match="spec06_mcf"):
+            results, report = run_jobs(jobs4(), cache=cache, max_workers=2,
+                                       keep_going=True)
+        assert report.cache_hits == len(WORKLOADS) - 1
+        assert report.jobs_simulated == 1
+        assert report.jobs_failed == 0
+        (incident,) = report.failures
+        assert incident["classification"] == "corrupt_cache"
+        assert incident["recovered"] is True
+        assert incident["workload"] == "spec06_mcf"
+        # The re-simulation reproduced the original result exactly.
+        assert results[1].data == first[1].data
+
+    def test_flip_flavour_trips_the_checksum(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_jobs(jobs4(), cache=cache, max_workers=2)
+        os.environ["REPRO_FAULT"] = "corrupt_cache:key=spec06_gcc:how=flip"
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            _, report = run_jobs(jobs4(), cache=cache, max_workers=2,
+                                 keep_going=True)
+        (incident,) = report.failures
+        assert incident["detail"].startswith("checksum mismatch")
+
+
+class TestMatrixAcceptance:
+    """The issue's acceptance scenario: a 2-config x 4-workload matrix under
+    crash + hang faults completes with --keep-going semantics, returns every
+    healthy cell, and classifies each injected fault correctly."""
+
+    def test_matrix_keeps_going_and_classifies(self, tmp_path):
+        configs = [quiet_config(), quiet_config(rfp={"enabled": True})]
+        # Miss indexes are job order: 0-3 baseline, 4-7 RFP.
+        os.environ["REPRO_FAULT"] = "crash:job=2, hang:job=5:seconds=60"
+        per_config, report = run_matrix(
+            configs, WORKLOADS, LENGTH, WARMUP,
+            cache=ResultCache(str(tmp_path)), max_workers=4,
+            job_timeout=1.0, retries=1, keep_going=True)
+        assert set(per_config[0]) == set(WORKLOADS) - {WORKLOADS[2]}
+        assert set(per_config[1]) == set(WORKLOADS) - {WORKLOADS[1]}
+        assert report.jobs_failed == 2
+        by_class = {r["classification"]: r for r in report.failures}
+        assert set(by_class) == {"crash", "timeout"}
+        assert by_class["crash"]["workload"] == WORKLOADS[2]
+        assert by_class["crash"]["config"] == configs[0].name
+        assert by_class["timeout"]["workload"] == WORKLOADS[1]
+        assert by_class["timeout"]["config"] == configs[1].name
+        assert all(r["attempts"] == 2 for r in report.failures)
+
+    def test_rerun_without_faults_resimulates_only_failures(self, tmp_path):
+        configs = [quiet_config(), quiet_config(rfp={"enabled": True})]
+        cache = ResultCache(str(tmp_path))
+        os.environ["REPRO_FAULT"] = "crash:job=2, hang:job=5:seconds=60"
+        run_matrix(configs, WORKLOADS, LENGTH, WARMUP, cache=cache,
+                   max_workers=4, job_timeout=1.0, retries=1, keep_going=True)
+        del os.environ["REPRO_FAULT"]
+        per_config, report = run_matrix(
+            configs, WORKLOADS, LENGTH, WARMUP, cache=cache, max_workers=4)
+        # Resume semantics: the six healthy cells come from the cache, only
+        # the two failed cells are simulated.
+        assert report.cache_hits == 6
+        assert report.jobs_simulated == 2
+        assert report.jobs_failed == 0
+        for results in per_config:
+            assert set(results) == set(WORKLOADS)
+
+
+_SIGINT_CHILD = """\
+import sys
+sys.path.insert(0, %(src)r)
+from repro.core.config import baseline
+from repro.sim.cache import ResultCache
+from repro.sim.parallel import run_jobs
+
+config = baseline(l2_prefetcher_enabled=False, l1_next_line_prefetch=False)
+jobs = [(name, config, %(length)d, %(warmup)d) for name in %(workloads)r]
+print("READY", flush=True)
+run_jobs(jobs, cache=ResultCache(%(cache)r), max_workers=4, job_timeout=0)
+"""
+
+
+class TestSigintResume:
+    def test_interrupt_preserves_finished_jobs_and_resume_skips_them(
+            self, tmp_path):
+        """Satellite: SIGINT a 4-job suite mid-run; completed jobs are in
+        the cache and a resume run simulates only the remainder."""
+        cache_dir = str(tmp_path / "cache")
+        script = _SIGINT_CHILD % {
+            "src": SRC_DIR, "length": LENGTH, "warmup": WARMUP,
+            "workloads": WORKLOADS, "cache": cache_dir,
+        }
+        env = dict(os.environ)
+        # The last job hangs forever and the watchdog is off, so the run
+        # can only end via our SIGINT.
+        env["REPRO_FAULT"] = "hang:job=3:seconds=600"
+        child = subprocess.Popen([sys.executable, "-c", script], env=env,
+                                 stdout=subprocess.PIPE,
+                                 stderr=subprocess.PIPE)
+        try:
+            # Wait until the three healthy jobs are committed to the cache.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                done = [name for name in os.listdir(cache_dir)
+                        if name.endswith(".json")] if os.path.isdir(cache_dir) else []
+                if len(done) >= 3:
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert child.poll() is None, (
+                "run finished before SIGINT could be delivered:\n%s"
+                % child.communicate()[1].decode())
+            child.send_signal(signal.SIGINT)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+        assert child.returncode != 0  # KeyboardInterrupt surfaced
+        # The three completed jobs were committed incrementally.
+        cached = [name for name in os.listdir(cache_dir)
+                  if name.endswith(".json")]
+        assert len(cached) == 3
+        # Resume: same jobs, no fault — only the interrupted one simulates.
+        config = quiet_config()
+        jobs = [(name, config, LENGTH, WARMUP) for name in WORKLOADS]
+        results, report = run_jobs(jobs, cache=ResultCache(cache_dir),
+                                   max_workers=4)
+        assert report.cache_hits == 3
+        assert report.jobs_simulated == 1
+        assert all(r is not None for r in results)

@@ -114,7 +114,7 @@ class TestDedupAndCache:
 
 
 class TestCorruptedCache:
-    def test_corrupted_entry_is_miss_and_rewritten(self, tmp_path):
+    def test_corrupted_entry_is_evicted_and_rewritten(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         config = quiet_config()
         good = simulate_cached(WORKLOADS[0], config, length=LENGTH,
@@ -123,12 +123,45 @@ class TestCorruptedCache:
         path = cache._path(key)
         with open(path, "w") as handle:
             handle.write('{"workload": "spec06_bzip2", "truncat')  # partial JSON
-        assert cache.get(key) is None  # corrupted -> miss
+        with pytest.warns(RuntimeWarning, match=WORKLOADS[0]):
+            assert cache.get(key) is None  # corrupted -> evicted miss
+        assert not os.path.exists(path)  # the bad file is gone
+        assert cache.pop_evictions() == [
+            {"key": key, "reason": "unreadable (truncated or malformed JSON)"}
+        ]
         again = simulate_cached(WORKLOADS[0], config, length=LENGTH,
                                 warmup=WARMUP, cache=cache)
         assert again.data == good.data
         with open(path) as handle:
-            assert json.load(handle) == good.data  # safely rewritten
+            envelope = json.load(handle)  # safely rewritten, checksummed
+        assert envelope["data"] == good.data
+        assert envelope["checksum"] == cache.checksum(good.data)
+
+    def test_checksum_mismatch_is_evicted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = quiet_config()
+        simulate_cached(WORKLOADS[0], config, length=LENGTH, warmup=WARMUP,
+                        cache=cache)
+        key = cache.key(WORKLOADS[0], config, LENGTH, WARMUP)
+        path = cache._path(key)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["data"]["ipc"] += 1.0  # silent payload corruption
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            assert cache.get(key) is None
+        assert cache.pop_evictions()[0]["reason"].startswith("checksum")
+
+    def test_legacy_unversioned_entry_is_evicted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = quiet_config()
+        key = cache.key(WORKLOADS[0], config, LENGTH, WARMUP)
+        os.makedirs(cache.directory, exist_ok=True)
+        with open(cache._path(key), "w") as handle:
+            json.dump({"workload": WORKLOADS[0], "ipc": 1.0}, handle)
+        with pytest.warns(RuntimeWarning, match="envelope"):
+            assert cache.get(key) is None
 
     def test_corrupted_entry_rewritten_under_parallel_fill(self, tmp_path):
         cache = ResultCache(str(tmp_path))
@@ -138,12 +171,18 @@ class TestCorruptedCache:
         for key in keys:
             with open(cache._path(key), "w") as handle:
                 handle.write("not json at all")
-        results, report = run_jobs(small_jobs(config), cache=cache,
-                                   max_workers=3)
+        with pytest.warns(RuntimeWarning):
+            results, report = run_jobs(small_jobs(config), cache=cache,
+                                       max_workers=3)
         assert report.jobs_simulated == len(WORKLOADS)  # all misses
+        # Every eviction shows up in the manifest as a recovered incident.
+        assert len(report.failures) == len(WORKLOADS)
+        assert {r["classification"] for r in report.failures} == {"corrupt_cache"}
+        assert all(r["recovered"] for r in report.failures)
+        assert report.jobs_failed == 0
         for key, result in zip(keys, results):
             with open(cache._path(key)) as handle:
-                assert json.load(handle) == result.data
+                assert json.load(handle)["data"] == result.data
 
     def test_put_tmp_file_is_per_process(self, tmp_path):
         cache = ResultCache(str(tmp_path))
@@ -234,6 +273,7 @@ class TestWorkerErrors:
         assert err.config_name == quiet_config().name
         assert "no_such_workload" in str(err)
         assert "KeyError" in err.detail
+        assert err.root_cause == "KeyError"
 
     def test_pool_failure_names_the_job(self, tmp_path):
         jobs = small_jobs() + [("no_such_workload", quiet_config(),
@@ -241,15 +281,29 @@ class TestWorkerErrors:
         with pytest.raises(WorkerError) as excinfo:
             run_jobs(jobs, cache=ResultCache(str(tmp_path)), max_workers=3)
         assert excinfo.value.workload == "no_such_workload"
+        assert excinfo.value.root_cause == "KeyError"
 
-    def test_worker_error_survives_pickling(self):
+    def test_worker_error_survives_double_pickling(self):
         import pickle
-        err = WorkerError("wl", "cfg", "traceback text")
-        clone = pickle.loads(pickle.dumps(err))
+        err = WorkerError("wl", "cfg", "traceback text", root_cause="KeyError")
+        # Two round-trips: the pool pickles the error once to cross the
+        # worker boundary, and a caller archiving a failure manifest may
+        # pickle the surfaced exception again.
+        clone = pickle.loads(pickle.dumps(pickle.loads(pickle.dumps(err))))
         assert isinstance(clone, WorkerError)
         assert clone.workload == "wl"
         assert clone.config_name == "cfg"
+        assert clone.detail == "traceback text"
+        assert clone.root_cause == "KeyError"
         assert "traceback text" in str(clone)
+        assert "root cause KeyError" in str(clone)
+
+    def test_worker_error_without_root_cause_still_pickles(self):
+        import pickle
+        err = WorkerError("wl", "cfg", "detail")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.root_cause is None
+        assert clone.detail == "detail"
 
 
 class TestTraceMerge:
