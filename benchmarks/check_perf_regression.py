@@ -18,6 +18,8 @@ never fails.  Gated metrics:
   serial throughput (absolute, machine-dependent);
 - ``event_loop.speedup_vs_legacy`` — the event engine vs the legacy
   polled scheduler on the same machine and traces (a ratio; transfers).
+- ``sampling.wallclock_speedup`` — a checkpoint-hit interval-sampled
+  sweep vs the two-speed single window (a ratio; transfers).
 
 The default tolerance is deliberately wide (25%): the committed
 reference comes from the development machine, and hosted CI runners are
@@ -44,6 +46,11 @@ GATED_METRICS = [
     # identical traces), so it transfers across hardware like the
     # two-speed ratio does.
     (("event_loop", "speedup_vs_legacy"), "event-loop speedup vs legacy"),
+    # Same-machine ratio: a checkpoint-hit sampled sweep vs the two-speed
+    # single window over the same validation workloads.  The benchmark
+    # itself asserts a hard 2x floor; the gate additionally catches the
+    # ratio eroding between commits (e.g. restore cost creeping up).
+    (("sampling", "wallclock_speedup"), "sampled-sweep wall-clock ratio"),
 ]
 
 

@@ -9,6 +9,7 @@ Commands:
     params                print Table 2's core parameters
     cache-stats           report the on-disk result cache's size
     cache-clear           delete every cached simulation result
+    checkpoint            manage the warm-state checkpoint store
 """
 
 import argparse
@@ -21,11 +22,12 @@ from repro.obs.export import dump_jsonl, pipeline_view, sort_events, write_jsonl
 from repro.obs.tracer import TraceSpec, parse_cycle_range
 from repro.rfp.storage import storage_report
 from repro.sim.cache import default_cache
+from repro.sim.checkpoint import CheckpointStore, checkpoints_env_disabled
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
 from repro.sim.experiments import suite_speedup
 from repro.sim.parallel import format_failures, run_matrix
-from repro.sim.runner import simulate
-from repro.stats.report import format_table
+from repro.sim.runner import simulate, simulate_sampled
+from repro.stats.report import format_ipc_ci, format_table
 from repro.workloads.suite import suite_table, workload_names
 
 
@@ -46,16 +48,40 @@ def _config_from_args(args):
     return factory(**overrides)
 
 
+def _sampling_from_args(args):
+    """The interval-sampling spec requested by --sample, or None."""
+    if getattr(args, "sample", None) is None:
+        return None
+    spec = {"samples": args.sample}
+    if getattr(args, "interval_length", None) is not None:
+        spec["interval_length"] = args.interval_length
+    if getattr(args, "ci_target", None) is not None:
+        spec["ci_target"] = args.ci_target
+    if getattr(args, "confidence", None) is not None:
+        spec["confidence"] = args.confidence
+    return spec
+
+
 def cmd_run(args):
     config = _config_from_args(args)
+    sampling = _sampling_from_args(args)
+
+    def _simulate():
+        if sampling is not None:
+            return simulate_sampled(
+                args.workload, config, length=args.length,
+                warmup=args.warmup, **sampling
+            )
+        return simulate(args.workload, config, length=args.length,
+                        warmup=args.warmup)
+
     if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = simulate(args.workload, config, length=args.length,
-                          warmup=args.warmup)
+        result = _simulate()
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(args.profile_limit)
@@ -63,17 +89,20 @@ def cmd_run(args):
             stats.dump_stats(args.profile_out)
             print("profile -> %s" % args.profile_out, file=sys.stderr)
     else:
-        result = simulate(args.workload, config, length=args.length,
-                          warmup=args.warmup)
+        result = _simulate()
     rows = [
         ("workload", result.workload),
         ("category", result.category),
         ("config", config.name + (" +RFP" if args.rfp else "")
          + (" +VP:%s" % args.vp if args.vp else "")),
-        ("IPC", "%.3f" % result.ipc),
+        ("IPC", format_ipc_ci(result.data)),
         ("cycles", str(result.data["cycles"])),
         ("instructions", str(result.data["instructions"])),
     ]
+    if "sampling" in result.data:
+        ci = result.data["ipc_ci"]
+        rows.append(("intervals", "%d of %d planned"
+                     % (ci["intervals_used"], ci["intervals_planned"])))
     if result.rfp is not None:
         rows += [
             ("RFP injected", "%.1f%% of loads" % (100 * result.rfp_fraction("injected"))),
@@ -128,6 +157,7 @@ def cmd_trace(args):
 
 def cmd_suite(args):
     config = _config_from_args(args)
+    sampling = _sampling_from_args(args)
     names = workload_names()[: args.num] if args.num else workload_names()
     base_config = baseline() if not args.core_2x else baseline_2x()
     print("Running %s workloads under %s..."
@@ -138,12 +168,20 @@ def cmd_suite(args):
         [base_config, config], names, args.length, args.warmup,
         max_workers=args.jobs, job_timeout=args.job_timeout,
         retries=args.retries, keep_going=args.keep_going,
+        sampling=sampling,
     )
     _, per_cat, overall = suite_speedup(feature, base)
     rows = [(cat, "%+.2f%%" % ((v - 1) * 100)) for cat, v in per_cat.items()]
     if per_cat:
         rows.append(("ALL (geomean)", "%+.2f%%" % ((overall - 1) * 100)))
     print(format_table(["category", "speedup vs baseline"], rows))
+    if sampling is not None:
+        ipc_rows = [
+            (name, format_ipc_ci(base[name].data), format_ipc_ci(feature[name].data))
+            for name in names if name in base and name in feature
+        ]
+        print(format_table(["workload", "baseline IPC", "%s IPC" % config.name],
+                           ipc_rows, title="sampled IPC (mean ± CI)"))
     print(report.format())
     if args.resume:
         print("resume: %d job(s) served from the cache, %d simulated"
@@ -184,6 +222,41 @@ def cmd_cache_stats(_args):
 def cmd_cache_clear(_args):
     removed = default_cache().clear()
     print("removed %d cached result%s" % (removed, "" if removed == 1 else "s"))
+    return 0
+
+
+def cmd_checkpoint(args):
+    # Operate on the store even when REPRO_CHECKPOINTS=0 disables its use
+    # by the runner — maintenance must work on a disabled store too.
+    store = CheckpointStore()
+    if args.action == "list":
+        paths = store.entry_paths()
+        for path in paths:
+            name = os.path.basename(path)[: -len(".ckpt.json")]
+            print("%s  %.1f KB" % (name, os.path.getsize(path) / 1024.0))
+        print("%d checkpoint%s in %s"
+              % (len(paths), "" if len(paths) == 1 else "s", store.directory))
+    elif args.action == "stats":
+        stats = store.stats()
+        rows = [
+            ("directory", stats["directory"]),
+            ("entries", str(stats["entries"])),
+            ("size", "%.1f KB" % (stats["bytes"] / 1024.0)),
+            ("enabled", "no (REPRO_CHECKPOINTS)"
+             if checkpoints_env_disabled() else "yes"),
+        ]
+        print(format_table(["metric", "value"], rows,
+                           title="warm-state checkpoint store"))
+    elif args.action == "clear":
+        removed = store.clear()
+        print("removed %d checkpoint%s" % (removed, "" if removed == 1 else "s"))
+    elif args.action == "prune":
+        if args.max_bytes is None:
+            print("error: prune requires --max-bytes", file=sys.stderr)
+            return 2
+        removed = store.prune(args.max_bytes)
+        print("pruned %d checkpoint%s (LRU) to fit %d bytes"
+              % (removed, "" if removed == 1 else "s", args.max_bytes))
     return 0
 
 
@@ -237,6 +310,24 @@ def build_parser():
                        help="sweep the microarchitectural invariant net "
                             "every K cycles (default 64; 0 disables)")
 
+    def add_sampling_args(p):
+        p.add_argument("--sample", type=int, default=None, metavar="K",
+                       help="SMARTS-style interval sampling: measure K "
+                            "short detailed intervals (warm state restored "
+                            "from the checkpoint store) and report mean "
+                            "IPC ± CI instead of one long detailed window")
+        p.add_argument("--interval-length", type=int, default=None,
+                       metavar="N",
+                       help="measured instructions per interval (default: "
+                            "the full inter-interval stride)")
+        p.add_argument("--ci-target", type=float, default=None, metavar="P",
+                       help="adaptive early stop: finish once the CI "
+                            "half-width is below P x mean (e.g. 0.01 "
+                            "for 1%%)")
+        p.add_argument("--confidence", type=float, default=None,
+                       choices=[0.90, 0.95, 0.99],
+                       help="confidence level for the IPC CI (default 0.95)")
+
     run_parser = sub.add_parser("run", help="simulate one workload")
     run_parser.add_argument("workload")
     run_parser.add_argument("--profile", action="store_true",
@@ -249,6 +340,7 @@ def build_parser():
                             help="also dump raw --profile stats to FILE "
                                  "(snakeviz/pstats compatible)")
     add_sim_args(run_parser)
+    add_sampling_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     trace_parser = sub.add_parser(
@@ -296,6 +388,7 @@ def build_parser():
                               help="retries for crashed or hung jobs "
                                    "(default REPRO_JOB_RETRIES or 2)")
     add_sim_args(suite_parser)
+    add_sampling_args(suite_parser)
     suite_parser.set_defaults(func=cmd_suite)
 
     cache_stats_parser = sub.add_parser(
@@ -305,6 +398,17 @@ def build_parser():
     cache_clear_parser = sub.add_parser(
         "cache-clear", help="delete every cached simulation result")
     cache_clear_parser.set_defaults(func=cmd_cache_clear)
+
+    checkpoint_parser = sub.add_parser(
+        "checkpoint", help="manage the warm-state checkpoint store")
+    checkpoint_parser.add_argument(
+        "action", choices=["list", "stats", "clear", "prune"],
+        help="list entries, print store stats, delete everything, or "
+             "LRU-evict down to --max-bytes")
+    checkpoint_parser.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="size budget for prune (least-recently-used entries go first)")
+    checkpoint_parser.set_defaults(func=cmd_checkpoint)
 
     wl_parser = sub.add_parser("workloads", help="list the suite")
     wl_parser.set_defaults(func=cmd_workloads)

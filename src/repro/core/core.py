@@ -174,7 +174,7 @@ class OOOCore(object):
         # test per iteration.
         inv_every = self.invariant_interval
         inv_next = self.cycle + inv_every if inv_every else 0
-        while cursor.index < cursor._length or fetch_buffer or rob_entries:
+        while cursor.index < cursor.limit or fetch_buffer or rob_entries:
             if self.cycle > limit:
                 head = rob_entries[0] if rob_entries else None
                 # The wheels distinguish a stalled-event bug (an event is

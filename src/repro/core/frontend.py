@@ -43,7 +43,6 @@ class Frontend(object):
         self._fetch_inv = (
             self.fetch_width, self.frontend_latency, self.buffer,
             self.buffer_capacity, self.cursor, self.cursor._instructions,
-            self.cursor._length,
         )
 
     @property
@@ -62,7 +61,10 @@ class Frontend(object):
         # ``cursor.index`` is re-read per iteration in case a fetch hook
         # ever rewinds the cursor mid-fetch.
         (fetch_width, frontend_latency, buffer, capacity, cursor,
-         instructions, length) = self._fetch_inv
+         instructions) = self._fetch_inv
+        # The fetch limit is read per call (not hoisted into _fetch_inv):
+        # the sampling runner assigns cursor.limit after construction.
+        length = cursor.limit
         fetched = 0
         ready_at = cycle + frontend_latency
         tracer = self.tracer

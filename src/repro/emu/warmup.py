@@ -39,6 +39,23 @@ from repro.core.frontend import PATH_MASK
 from repro.emu.emulator import ArchEmulator
 from repro.isa.opcodes import EVALUATORS, Op
 
+#: Process-wide count of functional warm passes (warmer instances that
+#: actually executed instructions).  The checkpoint layer's "warm once,
+#: measure many" claim is asserted against this counter: a sweep that
+#: restores every cell from the checkpoint store must not tick it at all.
+_warm_passes = 0
+
+
+def warm_pass_count():
+    """Functional warm passes performed by this process so far."""
+    return _warm_passes
+
+
+def reset_warm_pass_count():
+    """Zero the warm-pass counter (test/benchmark bookkeeping)."""
+    global _warm_passes
+    _warm_passes = 0
+
 
 class FunctionalWarmer(ArchEmulator):
     """Warms one :class:`~repro.core.core.OOOCore`'s structures in place.
@@ -54,6 +71,7 @@ class FunctionalWarmer(ArchEmulator):
         self.memory = core.memory
         #: Instructions functionally executed so far.
         self.warmed = 0
+        self._counted = False  # ticked _warm_passes already
 
     def warm(self, count):
         """Execute and warm the first ``count`` trace instructions, then
@@ -62,7 +80,17 @@ class FunctionalWarmer(ArchEmulator):
         Returns self.  The core's fetch cursor is left at ``count``; its
         rename unit maps the warmed register values; ``core.memory``
         reflects every store in the region.
+
+        Resumable: a second call with a larger ``count`` continues from
+        where the previous call stopped (instructions are never replayed),
+        which is how the checkpoint layer writes every interval boundary's
+        warm state in one pass over the trace.
         """
+        global _warm_passes
+        start = self.warmed
+        if count > start and not self._counted:
+            self._counted = True
+            _warm_passes += 1
         core = self.core
         hit_miss = core.hit_miss
         rfp = core.rfp
@@ -101,7 +129,7 @@ class FunctionalWarmer(ArchEmulator):
         md_tick = md._commit_tick
         evaluators = EVALUATORS
         LOAD, STORE = Op.LOAD, Op.STORE
-        for instr in self.trace.instructions[: count]:
+        for instr in self.trace.instructions[start: count]:
             op = instr.op
             if op == LOAD:
                 addr = instr.addr
@@ -179,7 +207,7 @@ class FunctionalWarmer(ArchEmulator):
             if instr.dst is not None:
                 regs[instr.dst] = value
         md._commit_tick = md_tick
-        self.warmed += min(count, len(self.trace.instructions))
+        self.warmed = max(start, min(count, len(self.trace.instructions)))
         core.rename.seed_architectural(
             [regs[reg] for reg in range(len(core.rename.rat))]
         )

@@ -86,22 +86,28 @@ class TraceCursor(object):
         self._instructions = trace.instructions
         self._length = len(trace.instructions)
         self.index = 0
+        #: Fetch limit (exclusive): instructions at or past this index are
+        #: never fetched.  Defaults to the trace length; the interval
+        #: sampling runner lowers it so one measurement interval drains
+        #: naturally after exactly ``limit - start`` instructions instead
+        #: of being stopped mid-pipeline.
+        self.limit = self._length
 
     @property
     def exhausted(self):
-        return self.index >= self._length
+        return self.index >= self.limit
 
     def peek(self):
         """Return the next instruction without consuming it, or None."""
         index = self.index
-        if index >= self._length:
+        if index >= self.limit:
             return None
         return self._instructions[index]
 
     def next(self):
         """Consume and return the next instruction, or None when exhausted."""
         index = self.index
-        if index >= self._length:
+        if index >= self.limit:
             return None
         instr = self._instructions[index]
         self.index = index + 1

@@ -41,7 +41,8 @@ def default_warmup():
 
 def run_suite(config, workloads=None, length=None, warmup=None,
               parallel=None, jobs=None, cache=None, progress=None,
-              job_timeout=None, retries=None, keep_going=False):
+              job_timeout=None, retries=None, keep_going=False,
+              sampling=None):
     """Run (cache-backed) every workload under ``config``.
 
     Uncached (workload, config) pairs are fanned out over the
@@ -54,6 +55,11 @@ def run_suite(config, workloads=None, length=None, warmup=None,
             more than one worker is available (``REPRO_JOBS`` /
             ``os.cpu_count()``).
         jobs: worker count override (else ``REPRO_JOBS``).
+        sampling: optional interval-sampling spec (``{"samples": K, ...}``,
+            see :func:`~repro.sim.sampling.normalize_spec`): measure K
+            short detailed intervals per workload from shared warm-state
+            checkpoints and report mean IPC ± CI instead of one long
+            detailed window.
 
     Returns {workload_name: SimResult}.
     """
@@ -69,6 +75,7 @@ def run_suite(config, workloads=None, length=None, warmup=None,
         config, workloads, length, warmup,
         cache=cache, max_workers=max_workers, progress=progress,
         job_timeout=job_timeout, retries=retries, keep_going=keep_going,
+        sampling=sampling,
     )
     return results
 

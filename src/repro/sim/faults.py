@@ -14,6 +14,9 @@ variable — a comma-separated list of specs, each ``kind:param=value:...``:
 - ``corrupt_cache:key=spec06_mcf`` — the first cache entry whose key
   contains the substring is corrupted on disk before it is read, so the
   checksum eviction + re-simulation path runs.
+- ``corrupt_checkpoint:key=spec06_mcf`` — same, but aimed at the warm-state
+  checkpoint store: the corrupted checkpoint is evicted and the workload is
+  re-warmed functionally instead of restored.
 - ``rand:p=0.05:seed=7:modes=crash|hang`` — each (job, attempt) fails with
   probability ``p``, chosen by a deterministic per-(seed, job, attempt)
   stream so a given spec always injects the same faults.
@@ -32,7 +35,7 @@ import os
 import random
 import time
 
-_VALID_KINDS = ("crash", "hang", "corrupt_cache", "rand")
+_VALID_KINDS = ("crash", "hang", "corrupt_cache", "corrupt_checkpoint", "rand")
 
 
 class InjectedFault(RuntimeError):
@@ -128,7 +131,7 @@ def fire_worker_faults(job_index, attempt, in_child, environ=None):
         return
     for spec in active_faults(environ):
         kind = spec.kind
-        if kind == "corrupt_cache":
+        if kind in ("corrupt_cache", "corrupt_checkpoint"):
             continue
         if kind == "rand":
             if not spec.attempt_allowed(attempt):
@@ -160,19 +163,19 @@ def fire_worker_faults(job_index, attempt, in_child, environ=None):
 _corrupted_paths = set()
 
 
-def corrupt_cache_file(key, path, environ=None):
-    """Corrupt ``path`` on disk when a ``corrupt_cache`` fault targets
-    ``key``; returns the corruption flavour applied or None.
+def _corrupt_envelope_file(kind, flip_field, key, path, environ):
+    """Shared body of the ``corrupt_cache`` / ``corrupt_checkpoint``
+    flavours: corrupt ``path`` when a ``kind`` fault targets ``key``.
 
-    Runs in the parent immediately before a cache read, and at most once
-    per file per process, so the subsequent re-simulate + rewrite is not
-    re-corrupted within the same run.
+    Returns the corruption flavour applied or None.  Runs at most once per
+    file per process, so the subsequent rewrite (re-simulation or re-warm)
+    is not re-corrupted within the same run.
     """
     environ = environ if environ is not None else os.environ
     if not environ.get("REPRO_FAULT"):
         return None
     for spec in active_faults(environ):
-        if spec.kind != "corrupt_cache":
+        if spec.kind != kind:
             continue
         needle = spec.params.get("key", "")
         if needle not in key or path in _corrupted_paths:
@@ -189,8 +192,8 @@ def corrupt_cache_file(key, path, environ=None):
             if isinstance(envelope, dict) and isinstance(
                 envelope.get("data"), dict
             ):
-                envelope["data"]["cycles"] = (
-                    envelope["data"].get("cycles", 0) + 1
+                envelope["data"][flip_field] = (
+                    envelope["data"].get(flip_field, 0) + 1
                 )
             with open(path, "w") as handle:
                 json.dump(envelope, handle)
@@ -201,3 +204,17 @@ def corrupt_cache_file(key, path, environ=None):
                 handle.write(blob[: max(1, len(blob) // 2)])
         return how
     return None
+
+
+def corrupt_cache_file(key, path, environ=None):
+    """Corrupt a result-cache entry targeted by a ``corrupt_cache`` fault;
+    runs in the parent immediately before a cache read."""
+    return _corrupt_envelope_file("corrupt_cache", "cycles", key, path,
+                                  environ)
+
+
+def corrupt_checkpoint_file(key, path, environ=None):
+    """Corrupt a warm-state checkpoint targeted by a ``corrupt_checkpoint``
+    fault; runs immediately before a checkpoint read."""
+    return _corrupt_envelope_file("corrupt_checkpoint", "functional", key,
+                                  path, environ)

@@ -74,7 +74,14 @@ from repro.obs.export import sort_events, write_jsonl
 from repro.obs.tracer import trace_spec_from_env
 from repro.sim import faults
 from repro.sim.cache import default_cache
-from repro.sim.runner import SimResult, simulate
+from repro.sim.checkpoint import (
+    CheckpointStore, default_checkpoint_store, ensure_checkpoints,
+    warm_fingerprint,
+)
+from repro.sim.runner import SimResult, simulate, simulate_interval
+from repro.sim.sampling import (
+    SamplingPlan, aggregate_intervals, normalize_spec, sampling_suffix,
+)
 from repro.workloads.suite import build_workload
 
 #: Failure-manifest classifications.
@@ -82,6 +89,7 @@ CLASS_CRASH = "crash"              # worker process died / injected crash
 CLASS_TIMEOUT = "timeout"          # watchdog killed a hung worker
 CLASS_DEADLOCK = "deadlock"        # the core's own deadlock detector fired
 CLASS_CORRUPT_CACHE = "corrupt_cache"  # checksum eviction forced a re-run
+CLASS_CORRUPT_CHECKPOINT = "corrupt_checkpoint"  # warm state re-derived
 CLASS_ERROR = "error"              # deterministic Python exception
 
 #: Only failures that a fresh worker might not reproduce are retried.
@@ -288,11 +296,29 @@ def _run_job(item):
     are re-raised as :class:`WorkerError` carrying the (workload, config)
     key plus the worker-side traceback and root exception class.
     """
-    key, (workload, config, length, warmup), trace_path = item[:3]
+    key, job, trace_path = item[:3]
+    workload, config, length, warmup = job[:4]
+    sampling = job[4] if len(job) > 4 else None
     job_index, attempt, in_child = item[3:]
     started = time.perf_counter()
     try:
         faults.fire_worker_faults(job_index, attempt, in_child)
+        if sampling is not None:
+            # One measurement interval of a sampled cell.  The worker
+            # builds its own store handle from the directory in the spec
+            # (a plain string, so the payload pickles under spawn).
+            interval = sampling["interval"]
+            store = (
+                CheckpointStore(sampling["checkpoint_dir"])
+                if sampling.get("checkpoint_dir") else None
+            )
+            result = simulate_interval(
+                workload, config, length=length,
+                start=interval["start"], measure=interval["measure"],
+                ramp=interval["ramp"], index=interval["index"],
+                checkpoint_store=store,
+            )
+            return key, result.data, time.perf_counter() - started
         tracer = None
         if trace_path is not None:
             spec = trace_spec_from_env()
@@ -454,14 +480,32 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
     # serial and parallel runs, whatever the cache held beforehand.
     trace_spec = trace_spec_from_env()
 
-    keys = [cache.key(w, c, lgth, wrm) for (w, c, lgth, wrm) in jobs]
+    # Normalize to 5-tuples (workload, config, length, warmup, sampling).
+    # Sampling is silently dropped where it cannot apply: under tracing
+    # (the event log must cover the whole trace) and for VP configs (VP
+    # tables train on pipeline events the functional gaps do not model).
+    normalized = []
+    for job in jobs:
+        workload, config, length, warmup = job[:4]
+        spec = job[4] if len(job) > 4 else None
+        if spec is not None and (trace_spec is not None or config.vp.enabled):
+            spec = None
+        if spec is not None:
+            spec = normalize_spec(spec)
+        normalized.append((workload, config, length, warmup, spec))
+
+    keys = [
+        cache.key(w, c, lgth, wrm)
+        + (sampling_suffix(spec) if spec is not None else "")
+        for (w, c, lgth, wrm, spec) in normalized
+    ]
     by_key = {}        # key -> SimResult (hits now, fills later; None=failed)
     pending = {}       # key -> job: deduplicated in-flight misses
     cache_hits = 0
     deduplicated = 0
     done = 0
     cache.pop_evictions()  # stale incidents from earlier runs are not ours
-    for key, job in zip(keys, jobs):
+    for key, job in zip(keys, normalized):
         if key in by_key:
             deduplicated += 1
             done += 1
@@ -481,8 +525,93 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
         else:
             pending[key] = job
 
+    # Expand sampled cells into per-interval work units.  Each interval is
+    # an independently schedulable, independently cached job keyed
+    # ``<cell-key>-iNNN``; the cell's aggregate is assembled (and cached
+    # under the cell key) after the fan-out drains.  ``total`` grows so the
+    # progress denominator counts interval units, not cells.
+    store = default_checkpoint_store()
+    failures = []
+    interval_cells = {}  # cell_key -> {"spec", "interval_keys"}
+    work = {}            # key -> 5-tuple handed to _PendingJob
+    prewarm = {}         # (name, trace-or-None, length, fp) -> set(positions)
+    restore_only = {}    # (name, length) -> all miss work restores from store
+    for key, job in pending.items():
+        workload, config, length, warmup, spec = job
+        build_key = (
+            (workload, length) if isinstance(workload, str)
+            else (workload.name, length)
+        )
+        if spec is None:
+            work[key] = job
+            restore_only[build_key] = False
+            continue
+        trace_length = length if isinstance(workload, str) else len(workload)
+        plan = SamplingPlan(config, trace_length, warmup, spec)
+        interval_keys = []
+        for i in range(plan.samples):
+            interval_key = key + "-i%03d" % i
+            interval_keys.append(interval_key)
+            cached = cache.get(interval_key)
+            if cached is not None:
+                by_key[interval_key] = cached
+                done += 1
+                total += 1
+                if progress:
+                    progress(done, total, job[0], config.name, 0.0, "cache")
+                continue
+            total += 1
+            work[interval_key] = (workload, config, length, warmup, {
+                "interval": {
+                    "index": i,
+                    "start": plan.starts[i],
+                    "measure": plan.measure,
+                    "ramp": plan.ramps[i],
+                },
+                "checkpoint_dir": store.directory if store is not None
+                else None,
+            })
+            functional = plan.functionals[i]
+            covered = store is not None and functional > 0
+            restore_only[build_key] = (
+                restore_only.get(build_key, True) and covered
+            )
+            if covered:
+                name = workload if isinstance(workload, str) else workload.name
+                trace = None if isinstance(workload, str) else workload
+                group = prewarm.setdefault(
+                    (name, trace, trace_length, warm_fingerprint(config)),
+                    (config, set()),
+                )
+                group[1].add(functional)
+        total -= 1  # the cell itself is replaced by its interval units
+        interval_cells[key] = {"spec": spec, "interval_keys": interval_keys}
+
+    # Parent-side prewarm: ONE resumable functional pass per (workload,
+    # warm-fingerprint) writes every missing interval checkpoint before the
+    # fan-out, so workers only ever restore — a 9-config sweep warms each
+    # workload once, a repeat sweep zero times.
+    if store is not None:
+        store.pop_evictions()
+        for (name, trace, trace_length, _fp), (config, positions) in sorted(
+            prewarm.items(), key=lambda item: (item[0][0], item[0][3])
+        ):
+            ensure_checkpoints(trace, name, config, trace_length,
+                               sorted(positions), store)
+            for incident in store.pop_evictions():
+                failures.append({
+                    "workload": name,
+                    "config": config.name,
+                    "job_index": -1,
+                    "classification": CLASS_CORRUPT_CHECKPOINT,
+                    "attempts": 1,
+                    "recovered": True,  # re-warmed on the spot
+                    "detail": incident["reason"],
+                    "root_cause": None,
+                })
+
     trace_dir = None
-    if trace_spec is not None and pending:
+    if trace_spec is not None and work:
         trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
 
     def _trace_path(index):
@@ -492,12 +621,11 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
 
     miss_jobs = [
         _PendingJob(key, job, index, _trace_path(index))
-        for index, (key, job) in enumerate(pending.items())
+        for index, (key, job) in enumerate(work.items())
     ]
 
     # Corrupt entries evicted during the scan above: record the incident,
     # flip it to recovered once the re-simulation lands.
-    failures = []
     by_miss_key = {pj.key: pj for pj in miss_jobs}
     for incident in cache.pop_evictions():
         pj = by_miss_key.get(incident["key"])
@@ -573,6 +701,13 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
             if isinstance(pj.job[0], str)
         }
         for name, length in sorted(unique):
+            if restore_only.get((name, length)):
+                # Every miss job for this workload restores its warm state
+                # from an existing checkpoint: skip the serial parent-side
+                # build and let the workers build the trace concurrently
+                # (the prewarm pass above never touched it, so there is no
+                # populated lru_cache entry to inherit anyway).
+                continue
             try:
                 build_workload(name, length=length)
             except Exception:
@@ -723,6 +858,24 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
                     if os.path.exists(pj.trace_path):
                         with open(pj.trace_path, "rb") as part:
                             shutil.copyfileobj(part, merged)
+        # Assemble sampled cells from their interval results.  Aggregation
+        # consumes intervals in index order with a deterministic early-stop
+        # rule, so the cell result is identical however many workers ran
+        # (and identical to a serial simulate_sampled that stopped early).
+        for cell_key, cell in interval_cells.items():
+            datas = []
+            for interval_key in cell["interval_keys"]:
+                result = by_key.get(interval_key)
+                if result is None:
+                    datas = None  # an interval failed terminally
+                    break
+                datas.append(result.data)
+            if datas is None:
+                by_key[cell_key] = None
+                continue
+            result = SimResult(aggregate_intervals(datas, cell["spec"]))
+            cache.put(cell_key, result)
+            by_key[cell_key] = result
     finally:
         if trace_dir is not None:
             shutil.rmtree(trace_dir, ignore_errors=True)
@@ -751,11 +904,17 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
 
 def run_suite_parallel(config, workloads, length, warmup,
                        cache=None, max_workers=None, progress=None,
-                       job_timeout=None, retries=None, keep_going=False):
+                       job_timeout=None, retries=None, keep_going=False,
+                       sampling=None):
     """Fan one config across ``workloads``; returns ``({name: SimResult},
     TimingReport)``.  Under ``keep_going``, failed workloads are simply
-    absent from the mapping (the report's manifest names them)."""
-    jobs = [(name, config, length, warmup) for name in workloads]
+    absent from the mapping (the report's manifest names them).
+
+    ``sampling`` is an optional interval-sampling spec (see
+    :func:`~repro.sim.sampling.normalize_spec`); each workload's intervals
+    then run as independent jobs sharing one warm-state checkpoint.
+    """
+    jobs = [(name, config, length, warmup, sampling) for name in workloads]
     results, report = run_jobs(jobs, cache=cache, max_workers=max_workers,
                                progress=progress, job_timeout=job_timeout,
                                retries=retries, keep_going=keep_going)
@@ -765,7 +924,8 @@ def run_suite_parallel(config, workloads, length, warmup,
 
 def run_matrix(configs, workloads, length, warmup,
                cache=None, max_workers=None, progress=None,
-               job_timeout=None, retries=None, keep_going=False):
+               job_timeout=None, retries=None, keep_going=False,
+               sampling=None):
     """Fan the full (config x workload) cross-product through one engine.
 
     Submitting every cell at once keeps all workers busy across config
@@ -773,11 +933,15 @@ def run_matrix(configs, workloads, length, warmup,
     boundary).  Returns ``([{name: SimResult}, ...] in config order,
     TimingReport)``; under ``keep_going``, failed cells are absent from
     their config's mapping and named in the report's failure manifest.
+
+    ``sampling`` applies interval sampling to every non-VP cell; configs
+    sharing warm-relevant parameters share checkpoints, so the whole
+    matrix costs one functional warm per workload.
     """
     configs = list(configs)
     workloads = list(workloads)
     jobs = [
-        (name, config, length, warmup)
+        (name, config, length, warmup, sampling)
         for config in configs
         for name in workloads
     ]

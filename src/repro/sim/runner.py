@@ -31,7 +31,7 @@ from repro.workloads.suite import build_workload, workload_category
 #: fingerprint.  Bump this whenever :class:`SimResult` gains/changes fields
 #: or the core's timing semantics change, so stale on-disk results from an
 #: older simulator become cache misses instead of wrong answers.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def fast_forward_env_disabled(environ=None):
@@ -256,3 +256,161 @@ def simulate(
     if env_spec is not None:
         write_jsonl(sort_events(tracer.events), env_spec.path)
     return result
+
+
+def _resolve_trace(workload, length):
+    if isinstance(workload, str):
+        return (build_workload(workload, length=length), workload,
+                workload_category(workload))
+    return workload, workload.name, workload.category
+
+
+def simulate_interval(
+    workload,
+    config=None,
+    length=DEFAULT_LENGTH,
+    start=0,
+    measure=None,
+    ramp=0,
+    index=0,
+    checkpoint_store="default",
+    max_cycles=None,
+):
+    """Simulate ONE sampling interval of ``workload`` under ``config``.
+
+    The interval measures the ``measure`` instructions beginning at trace
+    position ``start``: the first ``start - ramp`` instructions are
+    functionally fast-forwarded (restored from ``checkpoint_store`` when a
+    matching warm-state checkpoint exists, warmed and checkpointed
+    otherwise), the detailed core re-simulates the ``ramp``-instruction
+    pipeline-refill window, and the fetch limit is lowered to
+    ``start + measure`` so the pipeline drains naturally after exactly the
+    measured instructions — no mid-flight stop, identical commit timing to
+    a longer run over the same prefix.
+
+    ``checkpoint_store`` is a :class:`~repro.sim.checkpoint.CheckpointStore`,
+    None (always warm functionally), or ``"default"`` for the shared store.
+    Returns a :class:`SimResult` whose data carries ``interval`` metadata.
+    """
+    from repro.sim import checkpoint
+
+    config = config or baseline()
+    trace, name, category = _resolve_trace(workload, length)
+    if measure is None:
+        measure = len(trace) - start
+    if measure < 1 or start < 0 or start + measure > len(trace):
+        raise ValueError(
+            "interval [%d, %d) does not fit a %d-instruction trace"
+            % (start, start + measure, len(trace))
+        )
+    if ramp < 0 or ramp > start:
+        raise ValueError(
+            "detailed ramp %d does not fit before interval start %d"
+            % (ramp, start)
+        )
+    if checkpoint_store == "default":
+        checkpoint_store = checkpoint.default_checkpoint_store()
+    core = OOOCore(trace, config)
+    functional = start - ramp
+    outcome = checkpoint.warm_or_restore(
+        core, name, config, len(trace), functional, checkpoint_store
+    )
+    core.warmup_instructions = ramp
+    core.frontend.cursor.limit = start + measure
+    core.run(max_cycles=max_cycles)
+    result = SimResult.from_core(core, name, category)
+    result.data["interval"] = {
+        "index": index,
+        "start": start,
+        "measure": measure,
+        "ramp": ramp,
+        "functional": functional,
+        "checkpoint": outcome,
+    }
+    result.data["fast_forward"] = {
+        "enabled": functional > 0,
+        "functional_instructions": functional,
+        "detailed_warmup": ramp,
+    }
+    result.data["idle_skipped_cycles"] = core.idle_cycles_skipped
+    return result
+
+
+def simulate_sampled(
+    workload,
+    config=None,
+    length=DEFAULT_LENGTH,
+    warmup=DEFAULT_WARMUP,
+    samples=10,
+    interval_length=None,
+    ci_target=None,
+    confidence=None,
+    min_samples=None,
+    checkpoint_store="default",
+    max_cycles=None,
+):
+    """Estimate ``workload``'s IPC from ``samples`` short detailed intervals.
+
+    SMARTS-style sampled simulation: the measured region is covered by
+    ``samples`` systematically placed intervals (see
+    :class:`~repro.sim.sampling.SamplingPlan`), every interval boundary's
+    warm state comes from one shared functional pass through the checkpoint
+    store, and the reported IPC is the per-interval mean with a Student-t
+    confidence interval (``result.data["ipc_ci"]``).
+
+    Adaptive mode: with ``ci_target`` set (relative half-width, e.g. 0.01
+    for 1%), intervals are simulated in order and measurement stops as soon
+    as — after ``min_samples`` intervals — the CI is tight enough.  The
+    stopping rule is deterministic, so a parallel sweep that simulates all
+    intervals aggregates to the identical result.
+
+    With ``samples=1`` (and no ``interval_length``) the plan degenerates to
+    the standard two-speed single-window run and the result's measured
+    counters match :func:`simulate` exactly.
+    """
+    from repro.sim import checkpoint
+    from repro.sim.sampling import (
+        SamplingPlan, aggregate_intervals, mean_ci, normalize_spec,
+    )
+
+    config = config or baseline()
+    trace, name, _category = _resolve_trace(workload, length)
+    spec = {"samples": samples, "interval_length": interval_length,
+            "ci_target": ci_target}
+    if confidence is not None:
+        spec["confidence"] = confidence
+    if min_samples is not None:
+        spec["min_samples"] = min_samples
+    spec = normalize_spec(spec)
+    plan = SamplingPlan(config, len(trace), warmup, spec)
+    if checkpoint_store == "default":
+        checkpoint_store = checkpoint.default_checkpoint_store()
+    if checkpoint_store is not None:
+        checkpoint.ensure_checkpoints(
+            trace, name, config, len(trace), plan.checkpoint_positions(),
+            checkpoint_store,
+        )
+    interval_datas = []
+    for i in range(plan.samples):
+        interval = simulate_interval(
+            trace,
+            config,
+            start=plan.starts[i],
+            measure=plan.measure,
+            ramp=plan.ramps[i],
+            index=i,
+            checkpoint_store=checkpoint_store,
+            max_cycles=max_cycles,
+        )
+        interval_datas.append(interval.data)
+        if spec["ci_target"] is not None and (
+            len(interval_datas) >= spec["min_samples"]
+        ):
+            mean, half = mean_ci(
+                [d["ipc"] for d in interval_datas], spec["confidence"]
+            )
+            if half is not None and mean > 0 and (
+                half <= spec["ci_target"] * mean
+            ):
+                break
+    return SimResult(aggregate_intervals(interval_datas, spec))

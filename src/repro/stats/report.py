@@ -30,6 +30,24 @@ def percent(ratio):
     return "%+.2f%%" % ((ratio - 1.0) * 100.0)
 
 
+def format_ipc_ci(data, digits=3):
+    """Render a result's IPC, with its confidence interval when sampled.
+
+    ``data`` is a result dict; sampled runs carry an ``ipc_ci`` block and
+    print as ``1.234 ± 0.012 (95% CI, n=8)``, full-detail runs (and
+    single-interval samples, which have no variance estimate) print the
+    bare IPC.
+    """
+    ipc = data["ipc"]
+    ci = data.get("ipc_ci")
+    if not ci or ci.get("half_width") is None:
+        return "%.*f" % (digits, ipc)
+    return "%.*f ± %.*f (%g%% CI, n=%d)" % (
+        digits, ci["mean"], digits, ci["half_width"],
+        100 * ci["confidence"], ci["intervals_used"],
+    )
+
+
 def category_summary(results_by_workload, baseline_by_workload, categories):
     """Per-category and overall geomean speedups.
 

@@ -1,0 +1,384 @@
+"""Warm-state checkpoints: bit-exact restore, the store, warm-once sweeps.
+
+The contract under test: restoring a checkpoint must leave a fresh core in
+*exactly* the state a fresh functional warm produces — per component
+(caches with LRU order and dirty bits, DTLB, predictors, the RFP tables
+including their RNG stream) and end to end (a restored run's measured
+counters equal a freshly warmed run's).  On top of that, the store itself:
+checksummed envelopes with classified corruption eviction, LRU pruning,
+the kill-switch, and the warm-once accounting — a 9-config timing sweep
+performs one functional warm per workload, a repeat sweep zero.
+"""
+
+import json
+import os
+
+import pytest
+
+from conftest import quiet_config
+
+from repro.core.config import baseline
+from repro.core.core import OOOCore
+from repro.emu.warmup import (
+    FunctionalWarmer,
+    reset_warm_pass_count,
+    warm_pass_count,
+)
+from repro.sim.cache import ResultCache
+from repro.sim.checkpoint import (
+    CheckpointStore,
+    capture,
+    checkpoints_env_disabled,
+    default_checkpoint_store,
+    ensure_checkpoints,
+    restore,
+    warm_fingerprint,
+    warm_or_restore,
+)
+from repro.sim.parallel import run_matrix
+from repro.sim.runner import simulate_sampled
+from repro.workloads.suite import build_workload
+from test_two_speed import hierarchy_state, pt_state
+
+WORKLOAD = "spec06_mcf"
+LENGTH = 4000
+WARM = 2000
+
+
+def fresh_and_restored(config, length=LENGTH, warm=WARM):
+    """A functionally warmed core and a second core restored from its
+    checkpoint; bit-exactness means every compared component is equal."""
+    trace = build_workload(WORKLOAD, length=length)
+    warmed = OOOCore(trace, config)
+    warmer = FunctionalWarmer(warmed).warm(warm)
+    state = json.loads(json.dumps(capture(warmed, warmer)))  # disk round-trip
+    restored = OOOCore(trace, config)
+    restore(restored, state)
+    return warmed, restored
+
+
+# ---------------------------------------------------------------------------
+# per-component bit-exactness
+
+
+class TestRestoreBitExact:
+    def test_caches_and_dtlb(self):
+        warmed, restored = fresh_and_restored(baseline())
+        assert hierarchy_state(restored.hierarchy) == hierarchy_state(
+            warmed.hierarchy)
+        for level in ("l1", "l2", "llc"):
+            fresh_stats = getattr(warmed.hierarchy, level).stats
+            rest_stats = getattr(restored.hierarchy, level).stats
+            for counter in ("hits", "misses", "evictions", "fills",
+                            "prefetch_fills"):
+                assert getattr(rest_stats, counter) == getattr(
+                    fresh_stats, counter), (level, counter)
+        assert restored.hierarchy.dtlb.hits == warmed.hierarchy.dtlb.hits
+        assert restored.hierarchy.dtlb.misses == warmed.hierarchy.dtlb.misses
+
+    def test_l2_prefetcher_pages_and_counters(self):
+        warmed, restored = fresh_and_restored(baseline())
+        fresh_pf, rest_pf = (warmed.hierarchy.l2_prefetcher,
+                             restored.hierarchy.l2_prefetcher)
+        assert list(rest_pf.pages) == list(fresh_pf.pages)  # LRU order too
+        for page, entry in fresh_pf.pages.items():
+            other = rest_pf.pages[page]
+            assert (other.min_line, other.max_line, other.fwd_score,
+                    other.bwd_score) == (entry.min_line, entry.max_line,
+                                         entry.fwd_score, entry.bwd_score)
+        assert rest_pf.issued == fresh_pf.issued
+        assert rest_pf.trainings == fresh_pf.trainings
+
+    def test_hit_miss_and_md_predictors(self):
+        warmed, restored = fresh_and_restored(quiet_config())
+        assert restored.hit_miss.table == warmed.hit_miss.table
+        assert restored.hit_miss.predictions == warmed.hit_miss.predictions
+        assert restored.hit_miss.mispredicts == warmed.hit_miss.mispredicts
+        assert restored.md.table == warmed.md.table
+        assert restored.md._commit_tick == warmed.md._commit_tick
+
+    def test_rfp_pt_pat_and_rng_stream(self):
+        config = quiet_config(rfp={"enabled": True})
+        warmed, restored = fresh_and_restored(config)
+        assert pt_state(restored.rfp.pt) == pt_state(warmed.rfp.pt)
+        assert restored.rfp.pt.trainings == warmed.rfp.pt.trainings
+        assert restored.rfp.pt.allocations == warmed.rfp.pt.allocations
+        # pat_pointer survives the JSON round-trip as a tuple.
+        for pt_set in restored.rfp.pt.sets:
+            for entry in pt_set.values():
+                assert entry.pat_pointer is None or isinstance(
+                    entry.pat_pointer, tuple)
+        assert restored.rfp.pat.ways == warmed.rfp.pat.ways
+        assert restored.rfp.pat.lru == warmed.rfp.pat.lru
+        # The probabilistic confidence counter's RNG stream continues
+        # exactly where the fresh warm left it.
+        assert restored.rfp.pt._rng.getstate() == warmed.rfp.pt._rng.getstate()
+        assert [restored.rfp.pt._rng.random() for _ in range(5)] == [
+            warmed.rfp.pt._rng.random() for _ in range(5)]
+
+    def test_context_prefetcher(self):
+        config = quiet_config(
+            rfp={"enabled": True, "context_enabled": True})
+        warmed, restored = fresh_and_restored(config)
+        fresh_ctx, rest_ctx = warmed.rfp.context, restored.rfp.context
+        assert list(rest_ctx.table) == list(fresh_ctx.table)
+        for index, entry in fresh_ctx.table.items():
+            other = rest_ctx.table[index]
+            assert (other.tag, other.last_addr, other.stride,
+                    other.confidence) == (entry.tag, entry.last_addr,
+                                          entry.stride, entry.confidence)
+        assert rest_ctx.trainings == fresh_ctx.trainings
+
+    def test_architectural_state_and_cursor(self):
+        warmed, restored = fresh_and_restored(quiet_config())
+        assert restored.memory == warmed.memory
+        assert restored.rename.architectural_values() == \
+            warmed.rename.architectural_values()
+        assert restored.frontend.path_history == warmed.frontend.path_history
+        assert restored.frontend.cursor.index == WARM
+
+    def test_restored_run_equals_fresh_run(self, tmp_path):
+        """End to end: a run whose warm state came from the store measures
+        byte-identical counters to a freshly warmed run."""
+        store = CheckpointStore(str(tmp_path))
+        config = quiet_config(rfp={"enabled": True})
+        trace = build_workload(WORKLOAD, length=LENGTH)
+
+        def run(expect):
+            core = OOOCore(trace, config)
+            outcome = warm_or_restore(core, WORKLOAD, config, LENGTH, WARM,
+                                      store)
+            assert outcome == expect
+            core.warmup_instructions = 0
+            core.run()
+            return core.snapshot_counters()
+
+        assert run("warmed") == run("restored")
+
+    def test_length_mismatch_rejected(self):
+        trace = build_workload(WORKLOAD, length=LENGTH)
+        core = OOOCore(trace, quiet_config())
+        warmer = FunctionalWarmer(core).warm(WARM)
+        state = capture(core, warmer)
+        other = OOOCore(build_workload(WORKLOAD, length=LENGTH * 2),
+                        quiet_config())
+        with pytest.raises(ValueError, match="restored onto"):
+            restore(other, state)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+
+
+class TestWarmFingerprint:
+    def test_timing_fields_do_not_change_it(self):
+        base = warm_fingerprint(baseline())
+        assert warm_fingerprint(baseline(rob_entries=64)) == base
+        assert warm_fingerprint(baseline(l1_mshrs=4)) == base
+        assert warm_fingerprint(baseline(dram_latency=400)) == base
+
+    def test_warm_relevant_fields_change_it(self):
+        base = warm_fingerprint(baseline())
+        assert warm_fingerprint(baseline(l1_size=16 * 1024)) != base
+        assert warm_fingerprint(baseline(seed=1)) != base
+        assert warm_fingerprint(
+            baseline(rfp={"enabled": True})) != base
+        assert warm_fingerprint(
+            baseline(l2_prefetcher_enabled=False)) != base
+
+
+# ---------------------------------------------------------------------------
+# the store
+
+
+class TestCheckpointStore:
+    def test_roundtrip_contains_stats_clear(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        key = store.key(WORKLOAD, quiet_config(), LENGTH, WARM)
+        assert not store.contains(key)
+        assert store.get(key) is None
+        store.put(key, {"functional": WARM, "length": LENGTH})
+        assert store.contains(key)
+        assert store.get(key) == {"functional": WARM, "length": LENGTH}
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert store.clear() == 1
+        assert store.entry_paths() == []
+
+    def test_truncation_is_classified_and_evicted(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        key = store.key(WORKLOAD, quiet_config(), LENGTH, WARM)
+        store.put(key, {"functional": WARM})
+        path = store._path(key)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="re-warmed"):
+            assert store.get(key) is None
+        assert not os.path.exists(path)
+        [incident] = store.pop_evictions()
+        assert incident["reason"] == "unreadable (truncated or malformed JSON)"
+
+    def test_checksum_mismatch_and_bad_envelope(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        key = store.key(WORKLOAD, quiet_config(), LENGTH, WARM)
+        store.put(key, {"functional": WARM})
+        path = store._path(key)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["data"]["functional"] += 1
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.warns(RuntimeWarning):
+            assert store.get(key) is None
+        [incident] = store.pop_evictions()
+        assert incident["reason"] == \
+            "checksum mismatch (payload altered on disk)"
+        store.put(key, {"functional": WARM})
+        with open(path, "w") as handle:
+            json.dump({"no": "envelope"}, handle)
+        with pytest.warns(RuntimeWarning):
+            assert store.get(key) is None
+        [incident] = store.pop_evictions()
+        assert incident["reason"] == "not a checksummed checkpoint envelope"
+
+    def test_prune_evicts_least_recently_used(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        keys = ["w%d-1000-500-abc" % i for i in range(4)]
+        for i, key in enumerate(keys):
+            store.put(key, {"functional": 500, "pad": "x" * 100})
+            os.utime(store._path(key), (1000.0 + i, 1000.0 + i))
+        # Touch the oldest via get(): it becomes most recently used.
+        store.get(keys[0])
+        total = store.stats()["bytes"]
+        per_entry = total // 4
+        removed = store.prune(total - per_entry)  # must drop exactly one
+        assert removed == 1
+        remaining = {os.path.basename(p) for p in store.entry_paths()}
+        assert keys[1] + ".ckpt.json" not in remaining  # LRU after the touch
+        assert keys[0] + ".ckpt.json" in remaining
+
+    def test_kill_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINTS", raising=False)
+        assert not checkpoints_env_disabled()
+        for value in ("0", "off", "false"):
+            monkeypatch.setenv("REPRO_CHECKPOINTS", value)
+            assert checkpoints_env_disabled()
+            assert default_checkpoint_store() is None
+
+    def test_disabled_store_is_bit_exact(self, tmp_path, monkeypatch):
+        """REPRO_CHECKPOINTS=0 must not change any result — restore is
+        bit-exact versus a fresh warm, so the switch is not fingerprinted."""
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        with_store = simulate_sampled(WORKLOAD, quiet_config(), length=LENGTH,
+                                      warmup=WARM, samples=3)
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "0")
+        without = simulate_sampled(WORKLOAD, quiet_config(), length=LENGTH,
+                                   warmup=WARM, samples=3)
+        assert with_store.data == without.data
+
+
+# ---------------------------------------------------------------------------
+# warm-once accounting
+
+
+class TestWarmOnce:
+    def test_ensure_checkpoints_is_one_pass(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        config = quiet_config()
+        reset_warm_pass_count()
+        outcome = ensure_checkpoints(None, WORKLOAD, config, LENGTH,
+                                     [1000, 2000, 3000], store)
+        assert outcome == {1000: "warmed", 2000: "warmed", 3000: "warmed"}
+        assert warm_pass_count() == 1
+        # All present: zero warms, pure probes.
+        reset_warm_pass_count()
+        outcome = ensure_checkpoints(None, WORKLOAD, config, LENGTH,
+                                     [1000, 2000, 3000], store)
+        assert outcome == {1000: "hit", 2000: "hit", 3000: "hit"}
+        assert warm_pass_count() == 0
+
+    def test_partial_store_resumes_from_deepest_prefix_hit(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        config = quiet_config()
+        ensure_checkpoints(None, WORKLOAD, config, LENGTH,
+                           [1000, 2000, 3000], store)
+        with open(store._path(store.key(WORKLOAD, config, LENGTH,
+                                        3000))) as handle:
+            before = handle.read()
+        os.remove(store._path(store.key(WORKLOAD, config, LENGTH, 3000)))
+        reset_warm_pass_count()
+        outcome = ensure_checkpoints(None, WORKLOAD, config, LENGTH,
+                                     [1000, 2000, 3000], store)
+        assert outcome == {1000: "hit", 2000: "hit", 3000: "warmed"}
+        assert warm_pass_count() == 1
+        # Resuming from the 2000-checkpoint re-derives the identical bytes.
+        with open(store._path(store.key(WORKLOAD, config, LENGTH,
+                                        3000))) as handle:
+            assert handle.read() == before
+
+    def test_nine_config_sweep_warms_each_workload_once(self, tmp_path,
+                                                        monkeypatch):
+        """The acceptance sweep: nine configs differing only in timing
+        parameters share warm fingerprints, so the whole matrix costs one
+        functional warm per workload — and a repeat sweep zero."""
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+        cache = ResultCache(str(tmp_path / "cache"))
+        configs = [quiet_config(rob_entries=entries, name="rob%d" % entries)
+                   for entries in (64, 96, 128, 160, 192, 224, 256, 288, 320)]
+        fingerprints = {warm_fingerprint(config) for config in configs}
+        assert len(fingerprints) == 1
+        workloads = [WORKLOAD, "tpce"]
+        sampling = {"samples": 3}
+        reset_warm_pass_count()
+        per_config, _report = run_matrix(
+            configs, workloads, LENGTH, WARM, cache=cache, max_workers=1,
+            sampling=sampling)
+        assert all(len(block) == len(workloads) for block in per_config)
+        assert warm_pass_count() == len(workloads)
+        # Repeat sweep: interval results come from the result cache and
+        # warm state from the checkpoint store — zero functional warms.
+        reset_warm_pass_count()
+        repeat, _report = run_matrix(
+            configs, workloads, LENGTH, WARM,
+            cache=ResultCache(str(tmp_path / "cache2")), max_workers=1,
+            sampling=sampling)
+        assert warm_pass_count() == 0
+        for block_a, block_b in zip(per_config, repeat):
+            for name in workloads:
+                assert block_a[name].data == block_b[name].data
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+
+
+class TestCheckpointFaultInjection:
+    def test_corrupt_checkpoint_fault_recovers_with_identical_result(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        config = quiet_config()
+        clean = simulate_sampled(WORKLOAD, config, length=LENGTH,
+                                 warmup=WARM, samples=3)
+        monkeypatch.setenv("REPRO_FAULT",
+                           "corrupt_checkpoint:key=%s" % WORKLOAD)
+        with pytest.warns(RuntimeWarning, match="re-warmed"):
+            injected = simulate_sampled(WORKLOAD, config, length=LENGTH,
+                                        warmup=WARM, samples=3)
+        assert injected.data == clean.data
+
+    def test_flip_flavour_hits_checksum_classification(self, tmp_path,
+                                                       monkeypatch):
+        store = CheckpointStore(str(tmp_path))
+        config = quiet_config()
+        ensure_checkpoints(None, WORKLOAD, config, LENGTH, [WARM], store)
+        monkeypatch.setenv(
+            "REPRO_FAULT", "corrupt_checkpoint:key=%s:how=flip" % WORKLOAD)
+        with pytest.warns(RuntimeWarning):
+            assert store.get(store.key(WORKLOAD, config, LENGTH,
+                                       WARM)) is None
+        [incident] = store.pop_evictions()
+        assert incident["reason"] == \
+            "checksum mismatch (payload altered on disk)"
