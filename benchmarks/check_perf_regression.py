@@ -51,6 +51,10 @@ GATED_METRICS = [
     # itself asserts a hard 2x floor; the gate additionally catches the
     # ratio eroding between commits (e.g. restore cost creeping up).
     (("sampling", "wallclock_speedup"), "sampled-sweep wall-clock ratio"),
+    # Same-machine ratio: the batched SoA warm engine at width 8 (the
+    # 8-config sweep shape) vs the scalar FunctionalWarmer, interleaved.
+    # The benchmark asserts a hard 3x floor; the gate catches erosion.
+    (("batch_warm", "speedup_vs_scalar_w8"), "batched-warm speedup (w=8)"),
 ]
 
 

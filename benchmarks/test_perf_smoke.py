@@ -108,6 +108,17 @@ PRE_EVENT_LOOP_INSTR_PER_SECOND = 137873.6
 EVENT_BENCH_WORKLOADS = ["spec06_perlbench", "spec06_bzip2", "spec06_gcc",
                          "spec06_mcf"]
 
+#: Batched-warm acceptance: the SoA engine (:mod:`repro.emu.batch`) at
+#: batch width >= 8 must functionally warm at least 3x the scalar
+#: warmer's instr/s over the validation subset.  Width 8 is the sweep
+#: shape the engine is built for — 8 warm-relevant config variants
+#: sharing each workload's trace (and, because the variants agree on
+#: cache geometry, one shared cache advance); width 32 packs 8 workloads
+#: x 4 configs into a single engine call.  Same-machine ratio measured
+#: interleaved with the scalar passes, so it transfers across hardware.
+BATCH_WARM_WIDTHS = (1, 8, 32)
+MIN_BATCH_WARM_SPEEDUP = 3.0
+
 #: Hard floor on the same-machine event-vs-legacy serial ratio.  Most of
 #: this PR's speedup lives in engine-agnostic paths (dispatch/commit/
 #: issue inlining), which the in-tree legacy scheduler also enjoys, so
@@ -306,6 +317,81 @@ def _measure_sampling(two_speed, rounds=3):
     }
 
 
+def _measure_batch_warm(rounds=3):
+    """Scalar vs batched functional warming at widths 1/8/32.
+
+    All passes warm the validation subset to the shipped
+    :data:`DEFAULT_LENGTH` with no checkpoint store (pure engine
+    throughput; the trace builds and SoA column builds are excluded —
+    columns are cached on the trace, exactly as in a real sweep).  The
+    scalar and batched passes are interleaved per round, like the
+    event-vs-legacy section, so machine drift lands on both sides of the
+    best-of-N ratio.
+    """
+    from repro.emu.batch import columns_for, warm_batch
+    from repro.emu.warmup import FunctionalWarmer
+
+    length = DEFAULT_LENGTH
+    base = baseline()
+    sweep = [base.evolve(name="bw%d" % i, rfp={"enabled": True},
+                         hit_miss_entries=512 << (i % 4),
+                         rfp_dedicated_ports=i // 4)
+             for i in range(8)]
+    traces = {name: build_workload(name, length=length)
+              for name in VALIDATION_WORKLOADS}
+    for trace in traces.values():
+        columns_for(trace)
+
+    def scalar_pass():
+        from repro.core.core import OOOCore
+
+        started = time.perf_counter()
+        for trace in traces.values():
+            FunctionalWarmer(OOOCore(trace, sweep[0])).warm(length)
+        return len(traces) * length / (time.perf_counter() - started)
+
+    def batch_pass(width):
+        if width == 1:
+            lanes = [[(trace, name, sweep[0], length, [length])]
+                     for name, trace in traces.items()]
+        elif width == 8:
+            lanes = [[(trace, name, config, length, [length])
+                      for config in sweep]
+                     for name, trace in traces.items()]
+        else:
+            lanes = [[(trace, name, config, length, [length])
+                      for name, trace in traces.items()
+                      for config in sweep[:4]]]
+        total = sum(len(batch) for batch in lanes) * length
+        started = time.perf_counter()
+        for batch in lanes:
+            warm_batch(batch, store=None, width=width)
+        return total / (time.perf_counter() - started)
+
+    best_scalar = 0.0
+    best = {width: 0.0 for width in BATCH_WARM_WIDTHS}
+    for _ in range(rounds):
+        best_scalar = max(best_scalar, scalar_pass())
+        for width in BATCH_WARM_WIDTHS:
+            best[width] = max(best[width], batch_pass(width))
+    per_width = {
+        str(width): {
+            "instructions_per_second": round(best[width], 1),
+            "speedup_vs_scalar": round(best[width] / best_scalar, 3),
+        }
+        for width in BATCH_WARM_WIDTHS
+    }
+    return {
+        "length": length,
+        "workloads": VALIDATION_WORKLOADS,
+        "sweep_configs": len(sweep),
+        "scalar_instructions_per_second": round(best_scalar, 1),
+        "per_width": per_width,
+        "speedup_vs_scalar_w8": per_width["8"]["speedup_vs_scalar"],
+        "speedup_floor_w8": MIN_BATCH_WARM_SPEEDUP,
+    }
+
+
 def test_perf_smoke(benchmark, monkeypatch):
     # Tracing must be off for the figure to mean anything: a stray
     # REPRO_TRACE in the environment would bypass the result cache and
@@ -337,6 +423,7 @@ def test_perf_smoke(benchmark, monkeypatch):
     # ratio when this section ran last.
     two_speed = _measure_two_speed()
     sampling = _measure_sampling(two_speed)
+    batch_warm = _measure_batch_warm()
     serial_ips = benchmark.pedantic(
         _measure_serial, args=(workloads, length, warmup),
         rounds=1, iterations=1)
@@ -374,6 +461,7 @@ def test_perf_smoke(benchmark, monkeypatch):
                          default_jobs=default_jobs()),
         "two_speed": two_speed,
         "sampling": sampling,
+        "batch_warm": batch_warm,
     }
     with open(BENCH_PATH, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
@@ -402,6 +490,12 @@ def test_perf_smoke(benchmark, monkeypatch):
              SAMPLING_SAMPLES, SAMPLING_INTERVAL_LENGTH,
              sum(w["within_ci"] for w in sampling["per_workload"].values()),
              len(VALIDATION_WORKLOADS)))
+    print("batched warmer   : %s vs scalar %.0f instr/s (widths %s)"
+          % (", ".join("w%s %.2fx" % (w, batch_warm["per_width"][str(w)]
+                                      ["speedup_vs_scalar"])
+                       for w in BATCH_WARM_WIDTHS),
+             batch_warm["scalar_instructions_per_second"],
+             "/".join(str(w) for w in BATCH_WARM_WIDTHS)))
 
     assert serial_ips > FLOOR_INSTR_PER_SECOND
     # Same-machine, interleaved ratio: the event-driven engine must
@@ -425,3 +519,7 @@ def test_perf_smoke(benchmark, monkeypatch):
     # recorded floor.
     assert sampling["all_within_ci"], sampling["per_workload"]
     assert sampling["wallclock_speedup"] >= MIN_SAMPLING_SPEEDUP
+    # Batched-warm acceptance: width >= 8 reaches >= 3x the scalar
+    # warmer on the validation subset (same machine, interleaved).
+    assert batch_warm["speedup_vs_scalar_w8"] >= MIN_BATCH_WARM_SPEEDUP, \
+        batch_warm

@@ -70,7 +70,8 @@ def cmd_run(args):
         if sampling is not None:
             return simulate_sampled(
                 args.workload, config, length=args.length,
-                warmup=args.warmup, **sampling
+                warmup=args.warmup,
+                batch_warm=getattr(args, "batch_warm", None), **sampling
             )
         return simulate(args.workload, config, length=args.length,
                         warmup=args.warmup)
@@ -168,7 +169,7 @@ def cmd_suite(args):
         [base_config, config], names, args.length, args.warmup,
         max_workers=args.jobs, job_timeout=args.job_timeout,
         retries=args.retries, keep_going=args.keep_going,
-        sampling=sampling,
+        sampling=sampling, batch_warm=getattr(args, "batch_warm", None),
     )
     _, per_cat, overall = suite_speedup(feature, base)
     rows = [(cat, "%+.2f%%" % ((v - 1) * 100)) for cat, v in per_cat.items()]
@@ -238,10 +239,14 @@ def cmd_checkpoint(args):
               % (len(paths), "" if len(paths) == 1 else "s", store.directory))
     elif args.action == "stats":
         stats = store.stats()
+        # stats() validates every entry and evicts corrupt ones first,
+        # so the entries/size rows are post-eviction totals — a corrupt
+        # entry shows up under "corrupt evicted", never in both.
         rows = [
             ("directory", stats["directory"]),
             ("entries", str(stats["entries"])),
             ("size", "%.1f KB" % (stats["bytes"] / 1024.0)),
+            ("corrupt evicted", str(stats["corrupt_evicted"])),
             ("enabled", "no (REPRO_CHECKPOINTS)"
              if checkpoints_env_disabled() else "yes"),
         ]
@@ -327,6 +332,12 @@ def build_parser():
         p.add_argument("--confidence", type=float, default=None,
                        choices=[0.90, 0.95, 0.99],
                        help="confidence level for the IPC CI (default 0.95)")
+        p.add_argument("--batch-warm", action="store_true", default=None,
+                       help="write missing interval checkpoints through "
+                            "the batched SoA warm engine (one lockstep "
+                            "pass per trace instead of one scalar pass "
+                            "per config; bit-exact with the scalar "
+                            "warmer).  Default: REPRO_BATCH_WARM")
 
     run_parser = sub.add_parser("run", help="simulate one workload")
     run_parser.add_argument("workload")

@@ -365,6 +365,27 @@ class CheckpointStore(object):
         """Presence probe without reading/validating the entry."""
         return os.path.exists(self._path(key))
 
+    def _read_envelope(self, path):
+        """Read and classify the entry at ``path``.
+
+        Returns ``(reason, envelope)`` — ``reason`` is None for a valid
+        checksummed envelope, else a human-readable corruption class.
+        """
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            return "unreadable (truncated or malformed JSON)", None
+        if (
+            not isinstance(envelope, dict)
+            or "checksum" not in envelope
+            or not isinstance(envelope.get("data"), dict)
+        ):
+            return "not a checksummed checkpoint envelope", None
+        if self.checksum(envelope["data"]) != envelope["checksum"]:
+            return "checksum mismatch (payload altered on disk)", None
+        return None, envelope
+
     def get(self, key):
         """Return the checkpoint state dict for ``key``, or None."""
         path = self._path(key)
@@ -373,21 +394,7 @@ class CheckpointStore(object):
         if not os.path.exists(path):
             self.misses += 1
             return None
-        reason = None
-        try:
-            with open(path) as handle:
-                envelope = json.load(handle)
-        except (OSError, ValueError):
-            reason = "unreadable (truncated or malformed JSON)"
-        else:
-            if (
-                not isinstance(envelope, dict)
-                or "checksum" not in envelope
-                or not isinstance(envelope.get("data"), dict)
-            ):
-                reason = "not a checksummed checkpoint envelope"
-            elif self.checksum(envelope["data"]) != envelope["checksum"]:
-                reason = "checksum mismatch (payload altered on disk)"
+        reason, envelope = self._read_envelope(path)
         if reason is not None:
             self._evict(key, path, reason)
             self.misses += 1
@@ -440,18 +447,33 @@ class CheckpointStore(object):
         )
 
     def stats(self):
-        """On-disk entry count/bytes plus this process's hit/miss counters."""
-        paths = self.entry_paths()
+        """On-disk entry count/bytes plus this process's hit/miss counters.
+
+        Every entry is checksum-validated first and corrupt ones are
+        evicted, so ``entries``/``bytes`` are *post-eviction* totals: an
+        entry evicted during this call appears in ``corrupt_evicted`` (and
+        the eviction log) but never also in ``entries``.
+        """
         total_bytes = 0
-        for path in paths:
+        surviving = 0
+        corrupt = 0
+        for path in self.entry_paths():
+            reason, _ = self._read_envelope(path)
+            if reason is not None:
+                key = os.path.basename(path)[: -len(".ckpt.json")]
+                self._evict(key, path, reason)
+                corrupt += 1
+                continue
+            surviving += 1
             try:
                 total_bytes += os.path.getsize(path)
             except OSError:
                 pass
         return {
             "directory": self.directory,
-            "entries": len(paths),
+            "entries": surviving,
             "bytes": total_bytes,
+            "corrupt_evicted": corrupt,
             "hits": self.hits,
             "misses": self.misses,
         }
@@ -543,7 +565,8 @@ def warm_or_restore(core, workload, config, length, functional, store):
     return "warmed"
 
 
-def ensure_checkpoints(trace, workload, config, length, positions, store):
+def ensure_checkpoints(trace, workload, config, length, positions, store,
+                       engine="scalar"):
     """Write every missing checkpoint among ``positions`` in ONE warm pass.
 
     ``positions`` are functional instruction counts (ascending order not
@@ -553,8 +576,20 @@ def ensure_checkpoints(trace, workload, config, length, positions, store):
     store costs only presence probes — zero functional warms.
 
     ``trace`` may be None; it is built lazily only if a warm is needed.
+    ``engine`` selects who performs the pass: ``"scalar"`` (the
+    :class:`FunctionalWarmer` loop below) or ``"batch"`` (the SoA engine in
+    :mod:`repro.emu.batch` — bit-exact with scalar, and the natural entry
+    point when several configs share this trace; see
+    :func:`ensure_checkpoints_batch` for the multi-job form).
     Returns ``{position: "hit" | "warmed"}``.
     """
+    if engine == "batch":
+        [outcome] = ensure_checkpoints_batch(
+            [(trace, workload, config, length, positions)], store
+        )
+        return outcome
+    if engine != "scalar":
+        raise ValueError("unknown warm engine %r" % (engine,))
     from repro.workloads.suite import build_workload
 
     wanted = sorted({int(p) for p in positions if p > 0})
@@ -589,3 +624,20 @@ def ensure_checkpoints(trace, workload, config, length, positions, store):
                   capture(core, warmer))
         outcome[position] = "warmed"
     return outcome
+
+
+def ensure_checkpoints_batch(jobs, store, width=None, chunk=None):
+    """Batched :func:`ensure_checkpoints`: N warm jobs, one SoA engine run.
+
+    ``jobs`` is a list of ``(trace_or_None, workload, config, length,
+    positions)`` tuples.  Jobs that share a ``(workload, length)`` trace —
+    a config sweep — advance through it in lockstep, and lanes whose
+    configs agree on every cache-relevant field additionally share a
+    single cache/DTLB advance (functional warming has no feedback from
+    predictor state into cache contents, so the split is exact).  Emits
+    byte-identical checkpoint payloads to the scalar path; returns one
+    ``{position: "hit" | "warmed"}`` dict per job, in job order.
+    """
+    from repro.emu.batch import warm_batch
+
+    return warm_batch(jobs, store=store, width=width, chunk=chunk)

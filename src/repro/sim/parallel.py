@@ -74,9 +74,10 @@ from repro.obs.export import sort_events, write_jsonl
 from repro.obs.tracer import trace_spec_from_env
 from repro.sim import faults
 from repro.sim.cache import default_cache
+from repro.emu.batch import batch_warm_env_enabled
 from repro.sim.checkpoint import (
     CheckpointStore, default_checkpoint_store, ensure_checkpoints,
-    warm_fingerprint,
+    ensure_checkpoints_batch, warm_fingerprint,
 )
 from repro.sim.runner import SimResult, simulate, simulate_interval
 from repro.sim.sampling import (
@@ -430,7 +431,8 @@ def _stop_worker(process):
 
 
 def run_jobs(jobs, cache=None, max_workers=None, progress=None,
-             job_timeout=None, retries=None, keep_going=False):
+             job_timeout=None, retries=None, keep_going=False,
+             batch_warm=None):
     """Run (workload, config, length, warmup) jobs through the cache and a
     supervised worker-per-job engine.
 
@@ -455,6 +457,12 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
             default 2).  Deterministic exceptions are never retried.
         keep_going: record terminal failures in the report's manifest and
             return ``None`` in their result slots instead of raising.
+        batch_warm: perform the parent-side prewarm through the batched
+            SoA engine (:mod:`repro.emu.batch`) — all missing interval
+            checkpoints across the whole job matrix are written by one
+            lockstep engine run instead of one scalar pass per
+            (workload, warm-fingerprint).  Bit-exact with the scalar
+            prewarm.  ``None`` (default) defers to ``REPRO_BATCH_WARM``.
 
     Returns:
         ``(results, report)`` — ``results`` is a list of
@@ -468,6 +476,8 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
         max_workers = default_jobs()
     if retries is None:
         retries = default_retries()
+    if batch_warm is None:
+        batch_warm = batch_warm_env_enabled()
     backoff = retry_backoff_base()
     if progress is None and _env_progress_enabled():
         progress = _stderr_progress
@@ -593,22 +603,48 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
     # workload once, a repeat sweep zero times.
     if store is not None:
         store.pop_evictions()
-        for (name, trace, trace_length, _fp), (config, positions) in sorted(
-            prewarm.items(), key=lambda item: (item[0][0], item[0][3])
-        ):
-            ensure_checkpoints(trace, name, config, trace_length,
-                               sorted(positions), store)
+        ordered = sorted(prewarm.items(),
+                         key=lambda item: (item[0][0], item[0][3]))
+
+        def _warm_incident(name, config_name, reason):
+            failures.append({
+                "workload": name,
+                "config": config_name,
+                "job_index": -1,
+                "classification": CLASS_CORRUPT_CHECKPOINT,
+                "attempts": 1,
+                "recovered": True,  # re-warmed on the spot
+                "detail": reason,
+                "root_cause": None,
+            })
+
+        if batch_warm and ordered:
+            # Batched lane: every prewarm group becomes one lane of a
+            # single SoA engine run — groups sharing a trace advance in
+            # lockstep, lanes sharing cache geometry share one cache
+            # advance.  Incidents are attributed back through the store
+            # key (workload-length-functional-fingerprint).
+            config_by_fp = {
+                (name, fp): config.name
+                for (name, _t, _l, fp), (config, _p) in ordered
+            }
+            ensure_checkpoints_batch(
+                [(trace, name, config, trace_length, sorted(positions))
+                 for (name, trace, trace_length, _fp), (config, positions)
+                 in ordered],
+                store,
+            )
             for incident in store.pop_evictions():
-                failures.append({
-                    "workload": name,
-                    "config": config.name,
-                    "job_index": -1,
-                    "classification": CLASS_CORRUPT_CHECKPOINT,
-                    "attempts": 1,
-                    "recovered": True,  # re-warmed on the spot
-                    "detail": incident["reason"],
-                    "root_cause": None,
-                })
+                name, _length, _pos, fp = incident["key"].rsplit("-", 3)
+                _warm_incident(name, config_by_fp.get((name, fp), "?"),
+                               incident["reason"])
+        else:
+            for (name, trace, trace_length, _fp), (config, positions) \
+                    in ordered:
+                ensure_checkpoints(trace, name, config, trace_length,
+                                   sorted(positions), store)
+                for incident in store.pop_evictions():
+                    _warm_incident(name, config.name, incident["reason"])
 
     trace_dir = None
     if trace_spec is not None and work:
@@ -905,7 +941,7 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
 def run_suite_parallel(config, workloads, length, warmup,
                        cache=None, max_workers=None, progress=None,
                        job_timeout=None, retries=None, keep_going=False,
-                       sampling=None):
+                       sampling=None, batch_warm=None):
     """Fan one config across ``workloads``; returns ``({name: SimResult},
     TimingReport)``.  Under ``keep_going``, failed workloads are simply
     absent from the mapping (the report's manifest names them).
@@ -917,7 +953,8 @@ def run_suite_parallel(config, workloads, length, warmup,
     jobs = [(name, config, length, warmup, sampling) for name in workloads]
     results, report = run_jobs(jobs, cache=cache, max_workers=max_workers,
                                progress=progress, job_timeout=job_timeout,
-                               retries=retries, keep_going=keep_going)
+                               retries=retries, keep_going=keep_going,
+                               batch_warm=batch_warm)
     return {name: result for name, result in zip(workloads, results)
             if result is not None}, report
 
@@ -925,7 +962,7 @@ def run_suite_parallel(config, workloads, length, warmup,
 def run_matrix(configs, workloads, length, warmup,
                cache=None, max_workers=None, progress=None,
                job_timeout=None, retries=None, keep_going=False,
-               sampling=None):
+               sampling=None, batch_warm=None):
     """Fan the full (config x workload) cross-product through one engine.
 
     Submitting every cell at once keeps all workers busy across config
@@ -947,7 +984,8 @@ def run_matrix(configs, workloads, length, warmup,
     ]
     results, report = run_jobs(jobs, cache=cache, max_workers=max_workers,
                                progress=progress, job_timeout=job_timeout,
-                               retries=retries, keep_going=keep_going)
+                               retries=retries, keep_going=keep_going,
+                               batch_warm=batch_warm)
     per_config = []
     for i in range(len(configs)):
         chunk = results[i * len(workloads):(i + 1) * len(workloads)]

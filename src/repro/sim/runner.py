@@ -275,6 +275,7 @@ def simulate_interval(
     index=0,
     checkpoint_store="default",
     max_cycles=None,
+    batch_warm=None,
 ):
     """Simulate ONE sampling interval of ``workload`` under ``config``.
 
@@ -348,6 +349,7 @@ def simulate_sampled(
     min_samples=None,
     checkpoint_store="default",
     max_cycles=None,
+    batch_warm=None,
 ):
     """Estimate ``workload``'s IPC from ``samples`` short detailed intervals.
 
@@ -367,6 +369,12 @@ def simulate_sampled(
     With ``samples=1`` (and no ``interval_length``) the plan degenerates to
     the standard two-speed single-window run and the result's measured
     counters match :func:`simulate` exactly.
+
+    ``batch_warm`` routes the shared functional pass through the batched
+    SoA engine (:mod:`repro.emu.batch`) instead of the scalar warmer —
+    bit-exact, and faster whenever several positions (or, via
+    :func:`repro.sim.parallel.run_jobs`, several configs) share the trace.
+    ``None`` defers to ``REPRO_BATCH_WARM``.
     """
     from repro.sim import checkpoint
     from repro.sim.sampling import (
@@ -385,10 +393,15 @@ def simulate_sampled(
     plan = SamplingPlan(config, len(trace), warmup, spec)
     if checkpoint_store == "default":
         checkpoint_store = checkpoint.default_checkpoint_store()
+    if batch_warm is None:
+        from repro.emu.batch import batch_warm_env_enabled
+
+        batch_warm = batch_warm_env_enabled()
     if checkpoint_store is not None:
         checkpoint.ensure_checkpoints(
             trace, name, config, len(trace), plan.checkpoint_positions(),
             checkpoint_store,
+            engine="batch" if batch_warm else "scalar",
         )
     interval_datas = []
     for i in range(plan.samples):

@@ -382,3 +382,30 @@ class TestCheckpointFaultInjection:
         [incident] = store.pop_evictions()
         assert incident["reason"] == \
             "checksum mismatch (payload altered on disk)"
+
+    def test_stats_reports_post_eviction_totals(self, tmp_path):
+        """Regression: an entry found corrupt *during* ``stats()`` must be
+        evicted and reported under ``corrupt_evicted`` only — never also
+        counted in the same invocation's ``entries``/``bytes``."""
+        store = CheckpointStore(str(tmp_path))
+        good_key = "good-1000-500-abc"
+        bad_key = "bad-1000-500-abc"
+        store.put(good_key, {"functional": 500})
+        store.put(bad_key, {"functional": 500})
+        with open(store._path(bad_key), "w") as handle:
+            handle.write("{ truncated")
+        with open(store._path(good_key), "rb") as handle:
+            good_bytes = len(handle.read())
+        with pytest.warns(RuntimeWarning, match="re-warmed"):
+            stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] == good_bytes
+        assert stats["corrupt_evicted"] == 1
+        assert not os.path.exists(store._path(bad_key))
+        [incident] = store.pop_evictions()
+        assert incident["key"] == bad_key
+        assert incident["reason"] == \
+            "unreadable (truncated or malformed JSON)"
+        # A second invocation sees a clean store: nothing double-counted.
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["corrupt_evicted"] == 0
