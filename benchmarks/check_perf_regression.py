@@ -25,6 +25,18 @@ The default tolerance is deliberately wide (25%): the committed
 reference comes from the development machine, and hosted CI runners are
 both slower and noisier.  ``REPRO_PERF_TOLERANCE`` (or ``--tolerance``)
 overrides it, e.g. for a quiet dedicated runner.
+
+A note on the absolute figures: every ``instructions_per_second`` in the
+committed reference is machine-dependent *and* run-dependent — the same
+development machine has recorded serial event-loop figures anywhere from
+~160k to ~230k instr/s across runs depending on thermal state and
+co-resident load (which is how a stale 233k figure once outlived the
+committed 163k baseline in the docs).  Regenerate the committed
+``BENCH_engine.json`` on the machine CI gates against whenever the gate
+starts tripping on absolute metrics while the same-machine *ratios*
+(``speedup_*``, ``wallclock_speedup``) hold steady: ratios are the
+trustworthy cross-run signal, absolutes only anchor order-of-magnitude
+regressions.
 """
 
 import argparse
@@ -55,6 +67,12 @@ GATED_METRICS = [
     # 8-config sweep shape) vs the scalar FunctionalWarmer, interleaved.
     # The benchmark asserts a hard 3x floor; the gate catches erosion.
     (("batch_warm", "speedup_vs_scalar_w8"), "batched-warm speedup (w=8)"),
+    # Same-machine ratio: the lockstep batched *detailed* core at width 8
+    # (8-config sweep x validation workloads) vs the scalar event-driven
+    # core, interleaved.  The benchmark asserts a hard 1.2x floor; the
+    # gate catches the batched path eroding back toward scalar speed.
+    (("batch_detail", "speedup_vs_scalar_w8"),
+     "batched-detail speedup (w=8)"),
 ]
 
 

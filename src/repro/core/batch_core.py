@@ -1,0 +1,2124 @@
+"""Batched SoA detailed core: N out-of-order simulations in lockstep.
+
+The event-driven scalar core (:mod:`repro.core.core`) spends most of its
+time on per-instruction Python object work: a ``DynInstr`` allocation per
+dispatch, ``(seq, dyn)`` tuples in every heap and LSQ index, attribute
+walks through ``dyn.instr``, and evaluator calls whose values never affect
+timing in non-VP configs.  This module re-hosts the pipeline machinery in
+flat per-lane integer columns so the same event-driven algorithm runs with
+plain list indexing and no per-instruction allocation, and drives N such
+lanes in chunked lockstep so sampled-interval sweeps (K intervals x M
+configs of one workload share decoded :class:`~repro.emu.batch.TraceColumns`)
+amortize setup and stay cache-warm.
+
+Exactness contract
+------------------
+
+The scalar core stays the bit-exact oracle.  A lane wraps a real post-warm
+:class:`~repro.core.core.OOOCore` and *adopts* its stateful sub-objects in
+place — memory hierarchy (caches, MSHRs, DTLB, DRAM), RFP PT/PAT/context
+(including the seeded RNG), memory-dependence and hit-miss tables, RAT and
+PRF free list, ``SimStats`` — so every call sequence, counter bump, and RNG
+draw is identical.  Only the pipeline bookkeeping is columnar:
+
+====================  =====================================================
+scalar structure      lane column encoding
+====================  =====================================================
+``DynInstr``          one ROB *slot* per in-flight instruction; packed ref
+                      ``(seq << SHIFT) | slot`` stands in for the object
+``rob.entries``       deque of refs (popleft = commit, pop = squash)
+``rs.entries``        list of refs, lazily compacted like the scalar window
+``rs.ready``          min-heap of refs (refs sort by seq: slot bits are
+                      below ``SHIFT``, seqs are unique)
+``rs.wheel``          cycle -> [ref] dict + cycle min-heap
+``prf.waiters``       per-preg lists of refs
+``lq/sq._executed``   word -> sorted ref list (``bisect(lst, seq<<SHIFT)``
+                      lands exactly where ``bisect(lst, (seq,))`` does)
+``sq._unexecuted``    min-heap of refs with the same lazy dead-pop rule
+``preg_producer``     ``prod[preg] = ref`` (identity test == ref equality)
+``frontend.buffer``   ring buffer of (ready_at, trace index) columns
+``events``            branch-resolution wheel of refs
+====================  =====================================================
+
+Slot liveness: seqs are not contiguous after squashes, so slots come from a
+free pool and every stored ref is validated with ``slot_seq[slot] ==
+ref >> SHIFT`` before its columns are trusted — a stale ref whose slot was
+reused fails the seq check (matching the scalar skip of a departed
+``DynInstr``), and a freed-but-unreused slot still reads its terminal
+state (COMPLETED/SQUASHED), again matching the scalar check.
+
+Values are never computed: in non-VP configs, operand values cannot affect
+timing (evaluators are pure, committed memory is write-only), so lanes
+skip evaluator calls, PRF value writes and committed-memory updates
+entirely.  Configs where values do matter — value prediction, tracing,
+commit recording, invariant sweeps, the legacy polled scheduler — are
+rejected by :func:`batch_detail_supported` and fall back to scalar.
+
+Lanes retire from the batch individually: a drained lane finalizes its
+core (``SimResult.from_core`` then reads it exactly as after a scalar
+run), a deadlocked lane records a per-lane ``RuntimeError`` carrying the
+scalar message prefix (including "likely deadlock", which the parallel
+engine's failure classifier keys on).
+"""
+
+import heapq
+import os
+from bisect import bisect_left, insort
+from collections import deque
+
+from repro.core import dyninstr as D
+from repro.core.core import OOOCore, event_loop_env_disabled
+from repro.core.invariants import interval_from_env
+from repro.core.rename import INFINITY
+from repro.emu.batch import columns_for
+from repro.isa.opcodes import OP_LATENCY, Op, port_class
+
+#: Lanes advanced per lockstep cohort unless REPRO_BATCH_DETAIL_WIDTH
+#: overrides (8 = the validation-subset / per-workload config-sweep shape).
+DEFAULT_DETAIL_WIDTH = 8
+#: Cycles each lane advances per lockstep slice.
+DEFAULT_DETAIL_CHUNK = 4096
+
+# Instruction kind column values (denser than re-deriving from opcodes on
+# the commit/issue paths).
+K_OTHER, K_LOAD, K_STORE, K_BRANCH = 0, 1, 2, 3
+
+_LOAD = int(Op.LOAD)
+_STORE = int(Op.STORE)
+_BRANCH = int(Op.BRANCH)
+
+#: Per-opcode functional-unit index / latency, indexed by ``int(op)`` —
+#: mirrors the ``DynInstr._static`` snapshot (branches fold onto the ALU).
+_FU_BY_OP = [0] * (max(int(op) for op in Op) + 1)
+_LAT_BY_OP = [1] * len(_FU_BY_OP)
+for _op in Op:
+    _fu = port_class(_op)
+    if _fu == "branch":
+        _fu = "alu"
+    _FU_BY_OP[int(_op)] = D.FU_INDEX[_fu]
+    _LAT_BY_OP[int(_op)] = OP_LATENCY[_op]
+
+
+def batch_detail_env_enabled(environ=None):
+    """True when ``REPRO_BATCH_DETAIL`` asks for the batched detailed lane."""
+    environ = environ if environ is not None else os.environ
+    return environ.get("REPRO_BATCH_DETAIL", "") in ("1", "on", "true")
+
+
+def batch_detail_width_default(environ=None):
+    """Lockstep cohort width: ``REPRO_BATCH_DETAIL_WIDTH`` or the default."""
+    environ = environ if environ is not None else os.environ
+    try:
+        width = int(environ.get("REPRO_BATCH_DETAIL_WIDTH", ""))
+    except ValueError:
+        width = 0
+    return width if width > 0 else DEFAULT_DETAIL_WIDTH
+
+
+def batch_detail_supported(config, trace=None):
+    """Can ``config`` (and optionally ``trace``) run on the batched core?
+
+    The batched core models timing only; any shape where values feed back
+    into timing — value prediction — or where per-instruction observation
+    is requested — tracing, invariant sweeps, the legacy polled scheduler —
+    silently falls back to the scalar oracle.
+    """
+    if config.vp.enabled:
+        return False
+    if event_loop_env_disabled():
+        return False
+    if interval_from_env():
+        return False
+    if trace is not None and detail_columns_for(trace).max_srcs > 3:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# trace-level detail columns (shared by every lane of a trace)
+
+
+class DetailColumns(object):
+    """Full-length per-instruction columns the detailed lanes read.
+
+    Extends the warmer's :class:`~repro.emu.batch.TraceColumns` (``ops``,
+    ``dsts``, ``srcs``, ``mem_pos``, ``m_*``) with the facts only the
+    detailed pipeline needs: instruction kind, FU index, execution latency,
+    and branch outcome flags.  Cached in ``TraceColumns._derived`` so all
+    lanes and configs of a trace share one copy.
+    """
+
+    __slots__ = ("kind", "fu", "lat", "taken", "mispred", "max_srcs",
+                 "as0", "as1", "as2")
+
+    def __init__(self, trace, tc):
+        n = tc.n
+        ops = tc.ops
+        kind = bytearray(n)
+        fu = bytearray(n)
+        lat = bytearray(n)
+        taken = bytearray(n)
+        mispred = bytearray(n)
+        as0 = [-1] * n
+        as1 = [-1] * n
+        as2 = [-1] * n
+        fu_by_op = _FU_BY_OP
+        lat_by_op = _LAT_BY_OP
+        instructions = trace.instructions
+        max_srcs = 0
+        srcs = tc.srcs
+        for i in range(n):
+            op = ops[i]
+            fu[i] = fu_by_op[op]
+            lat[i] = lat_by_op[op]
+            if op == _LOAD:
+                kind[i] = K_LOAD
+            elif op == _STORE:
+                kind[i] = K_STORE
+            elif op == _BRANCH:
+                kind[i] = K_BRANCH
+                instr = instructions[i]
+                taken[i] = 1 if instr.taken else 0
+                mispred[i] = 1 if instr.mispredicted else 0
+            row = srcs[i]
+            ns = len(row)
+            if ns > max_srcs:
+                max_srcs = ns
+            if ns:
+                as0[i] = row[0]
+                if ns > 1:
+                    as1[i] = row[1]
+                    if ns > 2:
+                        as2[i] = row[2]
+        self.kind = kind
+        self.fu = fu
+        self.lat = lat
+        self.taken = taken
+        self.mispred = mispred
+        self.max_srcs = max_srcs
+        self.as0 = as0
+        self.as1 = as1
+        self.as2 = as2
+
+
+def detail_columns_for(trace):
+    """The (cached) :class:`DetailColumns` for ``trace``."""
+    tc = columns_for(trace)
+    bundle = tc._derived.get("detail")
+    if bundle is None:
+        bundle = DetailColumns(trace, tc)
+        tc._derived["detail"] = bundle
+    return bundle
+
+
+# ---------------------------------------------------------------------------
+# one lane
+
+
+class _Lane(object):
+    """Columnar pipeline state wrapped around one post-warm scalar core."""
+
+    def __init__(self, core, max_cycles=None):
+        config = core.config
+        trace = core.trace
+        if core.vp is not None:
+            raise ValueError("batched detailed lane cannot model value prediction")
+        if core.tracer is not None or core.record_commits:
+            raise ValueError("batched detailed lane cannot trace or record commits")
+        if not core.event_loop:
+            raise ValueError("batched detailed lane requires the event-driven scheduler")
+        if core.invariant_interval:
+            raise ValueError("batched detailed lane cannot run the invariant net")
+        if (core.rob.entries or core.rs.entries or core.lq.entries
+                or core.sq.entries or core.events.cycles):
+            raise ValueError("batched detailed lane requires a quiescent core "
+                             "(no in-flight instructions or pending events)")
+        self.core = core
+        self.config = config
+        self.error = None
+        tc = columns_for(trace)
+        dc = detail_columns_for(trace)
+        if dc.max_srcs > 3:
+            raise ValueError("batched detailed lane supports at most 3 sources")
+        # -- shared trace columns
+        self.t_kind = dc.kind
+        self.t_fu = dc.fu
+        self.t_lat = dc.lat
+        self.t_taken = dc.taken
+        self.t_mispred = dc.mispred
+        self.t_as0 = dc.as0
+        self.t_as1 = dc.as1
+        self.t_as2 = dc.as2
+        self.t_dsts = tc.dsts
+        self.t_srcs = tc.srcs
+        self.t_mem_pos = tc.mem_pos
+        self.t_m_pcs = tc.m_pcs
+        self.t_m_addrs = tc.m_addrs
+        self.t_m_aligned = tc.m_aligned
+        # -- slot columns
+        slots = 1 << max(1, (config.rob_entries - 1).bit_length())
+        self.SLOTS = slots
+        self.SHIFT = slots.bit_length() - 1
+        self.SMASK = slots - 1
+        self.slot_free = list(range(slots - 1, -1, -1))
+        self.sseq = [-1] * slots
+        self.sstate = [D.SQUASHED] * slots
+        self.skind = [0] * slots
+        self.sfu = [0] * slots
+        self.slat = [0] * slots
+        self.stidx = [0] * slots
+        self.sdisp = [0] * slots
+        self.scomp = [0] * slots
+        self.sdest = [-1] * slots
+        self.sprev = [0] * slots
+        self.s0 = [-1] * slots
+        self.s1 = [-1] * slots
+        self.s2 = [-1] * slots
+        self.sfwd = [-1] * slots           # forward_src_seq; -1 == None
+        self.sinrs = [0] * slots
+        self.sinlq = [0] * slots
+        self.sinsq = [0] * slots
+        self.spc = [0] * slots
+        self.saddr = [0] * slots
+        self.sword = [0] * slots
+        self.smisp = [0] * slots
+        self.srfp = [0] * slots            # D.RFP_* state
+        self.srfpaddr = [0] * slots
+        self.srfpbit = [0] * slots
+        self.srfpcomp = [0] * slots
+        self.srfpseq = [-1] * slots        # rfp_value_seq; -1 == None
+        # -- pipeline structures (refs)
+        self.rob = deque()
+        self.rs_window = []
+        self.rs_ready = []
+        self.wh_slots = {}
+        self.wh_cycles = []
+        self.rs_live = 0
+        self.rs_dead = 0
+        self.rs_now = core.rs.now
+        self.replay_debt = core.rs.replay_debt
+        self.issued_total = core.rs.issued_total
+        self.replay_issues_total = core.rs.replay_issues_total
+        self.lq_count = 0
+        self.lq_exec = {}
+        self.sq_count = 0
+        self.sq_exec = {}
+        self.sq_unexec = []
+        self.senior = list(core.sq.senior)
+        heapq.heapify(self.senior)  # multiset semantics; heap for O(log n)
+        self.sq_forwards = core.sq.forwards
+        self.ev_slots = {}
+        self.ev_cycles = []
+        self.prod = [-1] * config.prf_entries
+        self.waiters = [[] for _ in range(config.prf_entries)]
+        self.ncons = [0] * config.prf_entries
+        # -- adopted stateful sub-objects (mutated through the originals)
+        self.stats = core.stats
+        self.rat = core.rename.rat
+        self.free_list = core.rename.free_list
+        self.ready_cycle = core.prf.ready_cycle
+        self.md = core.md
+        self.hierarchy = core.hierarchy
+        self.hit_miss = core.hit_miss
+        self.ports = core.ports
+        self.rfp = core.rfp
+        self.rqueue = deque()
+        # -- frontend state
+        frontend = core.frontend
+        self.f_idx = frontend.cursor.index
+        self.f_limit = frontend.cursor.limit
+        self.f_stall = frontend.stall_until
+        self.f_blocked = (frontend.blocked_branch_index
+                          if frontend.blocked_branch_index is not None else -1)
+        self.path_hist = frontend.path_history
+        self.fetched_total = frontend.fetched
+        cap = frontend.buffer_capacity
+        self.rb_capacity = cap
+        size = 1 << max(1, (cap - 1).bit_length())
+        self.RB_MASK = size - 1
+        self.rb_ready = [0] * size
+        self.rb_tidx = [0] * size
+        self.rb_head = 0
+        self.rb_count = 0
+        for ready_at, instr in frontend.buffer:
+            tail = (self.rb_head + self.rb_count) & self.RB_MASK
+            self.rb_ready[tail] = ready_at
+            self.rb_tidx[tail] = instr.index
+            self.rb_count += 1
+        # -- config scalars
+        self.retire_width = config.retire_width
+        self.rename_width = config.rename_width
+        self.fetch_width = config.fetch_width
+        self.issue_width = config.issue_width
+        self.rob_capacity = config.rob_entries
+        self.rs_capacity = config.rs_entries
+        self.lq_capacity = config.lq_entries
+        self.sq_capacity = config.sq_entries
+        self.min_delay = config.sched_latency
+        self.frontend_latency = config.frontend_latency
+        self.redirect_extra = max(
+            1, config.branch_redirect_penalty - config.frontend_latency)
+        self.store_forward_latency = config.store_forward_latency
+        self.md_flush_penalty = config.md_flush_penalty
+        self.budget_base = core.rs._budget_list
+        self.idle_skip = config.idle_skip
+        # -- driving state
+        self.cycle = core.cycle
+        self.next_seq = core.next_seq
+        self.warmup_target = core.warmup_instructions
+        self.idle_skipped = core.idle_cycles_skipped
+        self.limit_cycles = max_cycles or (400 * max(1, len(trace)) + 100000)
+
+    # -- StoreQueue.has_older_unexecuted over refs ------------------------
+
+    def _has_older_unexec(self, seq):
+        heap = self.sq_unexec
+        sseq = self.sseq
+        sstate = self.sstate
+        SHIFT = self.SHIFT
+        SMASK = self.SMASK
+        heappop = heapq.heappop
+        while heap:
+            h = heap[0]
+            hs = h & SMASK
+            if sseq[hs] != h >> SHIFT or sstate[hs] != 0:
+                heappop(heap)
+                continue
+            break
+        return bool(heap) and (heap[0] >> SHIFT) < seq
+
+    # -- OOOCore._idle_wake over columns ----------------------------------
+
+    def _idle_wake(self, cycle):
+        if self.replay_debt > 0:
+            return None
+        candidates = []
+        ev_cycles = self.ev_cycles
+        if ev_cycles:
+            when = ev_cycles[0]
+            if when <= cycle:
+                return None
+            candidates.append(when)
+        SHIFT = self.SHIFT
+        SMASK = self.SMASK
+        sseq = self.sseq
+        sstate = self.sstate
+        scomp = self.scomp
+        rob = self.rob
+        if rob:
+            hslot = rob[0] & SMASK
+            if sstate[hslot] == 2:
+                hcomp = scomp[hslot]
+                if hcomp <= cycle:
+                    return None
+                candidates.append(hcomp)
+        ready_cycle = self.ready_cycle
+        sched_latency = self.min_delay
+        if self.wh_cycles:
+            candidates.append(self.wh_cycles[0])
+        sinrs = self.sinrs
+        sdisp = self.sdisp
+        s0 = self.s0
+        s1 = self.s1
+        s2 = self.s2
+        skind = self.skind
+        spc = self.spc
+        md = self.md
+        for ref in self.rs_ready:
+            slot = ref & SMASK
+            if sseq[slot] != ref >> SHIFT or sstate[slot] != 0 or not sinrs[slot]:
+                continue
+            wake = sdisp[slot] + sched_latency
+            pending = False
+            for p in (s0[slot], s1[slot], s2[slot]):
+                if p < 0:
+                    continue
+                ready = ready_cycle[p]
+                if ready == INFINITY:
+                    pending = True
+                    break
+                if ready > wake:
+                    wake = ready
+            if pending:
+                continue
+            if wake <= cycle:
+                if (
+                    skind[slot] == K_LOAD
+                    and md.predict_conflict(spc[slot])
+                    and self._has_older_unexec(ref >> SHIFT)
+                ):
+                    continue
+                return None
+            candidates.append(wake)
+        # -- frontend
+        f_blocked = self.f_blocked
+        if f_blocked < 0 and self.f_idx < self.f_limit:
+            if cycle < self.f_stall:
+                candidates.append(self.f_stall)
+            elif self.rb_count < self.rb_capacity:
+                return None
+        # -- dispatch
+        stall_attr = None
+        if self.rb_count:
+            head = self.rb_head
+            ready_at = self.rb_ready[head]
+            if ready_at > cycle:
+                candidates.append(ready_at)
+            elif len(rob) >= self.rob_capacity:
+                stall_attr = "stall_rob"
+            elif self.rs_live >= self.rs_capacity:
+                stall_attr = "stall_rs"
+            else:
+                ti = self.rb_tidx[head]
+                kind = self.t_kind[ti]
+                if kind == K_LOAD and self.lq_count >= self.lq_capacity:
+                    stall_attr = "stall_lq"
+                elif kind == K_STORE and self._sq_full(cycle):
+                    stall_attr = "stall_sq"
+                    if self.senior:
+                        candidates.append(min(self.senior))
+                elif self.t_dsts[ti] >= 0 and not self.free_list:
+                    stall_attr = "stall_prf"
+                else:
+                    return None
+        # -- RFP queue head
+        rfp = self.rfp
+        rfp_blocked = False
+        rqueue = self.rqueue
+        if rfp is not None and rqueue:
+            pref, paddr = rqueue[0]
+            pslot = pref & SMASK
+            pseq = pref >> SHIFT
+            if (sseq[pslot] != pseq or self.srfp[pslot] != D.RFP_QUEUED
+                    or sstate[pslot] != 0):
+                return None
+            word = paddr & ~7
+            lst = self.sq_exec.get(word)
+            if lst and bisect_left(lst, pseq << SHIFT) - 1 >= 0:
+                return None
+            hierarchy = self.hierarchy
+            if md.predict_conflict(spc[pslot]) and self._has_older_unexec(pseq):
+                rfp_blocked = True
+            elif (rfp.rfp_config.drop_on_tlb_miss
+                    and not hierarchy.dtlb.probe(paddr)):
+                return None
+            elif (
+                hierarchy.mshr.occupancy
+                >= hierarchy.mshr.num_entries - rfp.mshr_reserve
+                and hierarchy.probe_level(paddr) not in ("L1", "MSHR")
+            ):
+                rfp_blocked = True
+            elif self.ports.rfp_dedicated_ports > 0 or self.ports.rfp_shares_demand_ports:
+                return None
+        if not candidates:
+            return None
+        wake = min(candidates)
+        if wake <= cycle:
+            return None
+        return wake, stall_attr, rfp_blocked
+
+    def _sq_full(self, cycle):
+        senior = self.senior
+        while senior and senior[0] <= cycle:
+            heapq.heappop(senior)
+        return self.sq_count + len(senior) >= self.sq_capacity
+
+    # -- the fused per-cycle loop -----------------------------------------
+
+    def run(self, stop_cycle):
+        """Advance until ``stop_cycle``, drain, or deadlock.
+
+        Returns ``"live"`` (chunk boundary), ``"drained"``, or ``"dead"``
+        (``self.error`` holds the per-lane RuntimeError).
+        """
+        # -- stable object hoists (mutated in place, never rebound)
+        stats = self.stats
+        rob = self.rob
+        slot_free = self.slot_free
+        sseq = self.sseq
+        sstate = self.sstate
+        skind = self.skind
+        sfu = self.sfu
+        slat = self.slat
+        stidx = self.stidx
+        sdisp = self.sdisp
+        scomp = self.scomp
+        sdest = self.sdest
+        sprev = self.sprev
+        s0 = self.s0
+        s1 = self.s1
+        s2 = self.s2
+        sfwd = self.sfwd
+        sinrs = self.sinrs
+        sinlq = self.sinlq
+        sinsq = self.sinsq
+        spc = self.spc
+        saddr = self.saddr
+        sword = self.sword
+        smisp = self.smisp
+        srfp = self.srfp
+        srfpaddr = self.srfpaddr
+        srfpbit = self.srfpbit
+        srfpcomp = self.srfpcomp
+        srfpseq = self.srfpseq
+        SHIFT = self.SHIFT
+        SMASK = self.SMASK
+        rs_ready = self.rs_ready
+        wh_slots = self.wh_slots
+        wh_cycles = self.wh_cycles
+        ev_slots = self.ev_slots
+        ev_cycles = self.ev_cycles
+        lq_exec = self.lq_exec
+        sq_exec = self.sq_exec
+        prod = self.prod
+        waiters = self.waiters
+        ncons = self.ncons
+        rat = self.rat
+        free_list = self.free_list
+        ready_cycle = self.ready_cycle
+        rb_ready = self.rb_ready
+        rb_tidx = self.rb_tidx
+        RB_MASK = self.RB_MASK
+        t_kind = self.t_kind
+        t_fu = self.t_fu
+        t_lat = self.t_lat
+        t_taken = self.t_taken
+        t_mispred = self.t_mispred
+        t_dsts = self.t_dsts
+        t_as0 = self.t_as0
+        t_as1 = self.t_as1
+        t_as2 = self.t_as2
+        t_mem_pos = self.t_mem_pos
+        t_m_pcs = self.t_m_pcs
+        t_m_addrs = self.t_m_addrs
+        t_m_aligned = self.t_m_aligned
+        md = self.md
+        md_table = md.table
+        md_entries = md.num_entries
+        md_decay = md.decay_period
+        hierarchy = self.hierarchy
+        loads_served = hierarchy.loads_served
+        dtlb = hierarchy.dtlb
+        dtlb_sets = dtlb.sets
+        dtlb_mask = dtlb.set_mask
+        l1 = hierarchy.l1
+        l1_sets = l1.sets
+        l1_shift = l1.line_shift
+        l1_mask = l1.set_mask
+        l1_stats = l1.stats
+        l1_serve = hierarchy._l1_serve
+        l1_fill = l1.fill
+        l2 = hierarchy.l2
+        llc = hierarchy.llc
+        dram = hierarchy.dram
+        l2_serve = hierarchy._serve_latency("L2")
+        llc_serve = hierarchy._serve_latency("LLC")
+        dtlb_assoc = dtlb.assoc
+        dtlb_walk = dtlb.walk_latency
+        mshr = hierarchy.mshr
+        mshr_inflight = mshr.inflight
+        mshr_capacity = mshr.num_entries
+        l2_lookup = l2.lookup
+        llc_lookup = llc.lookup
+        l2_fill = l2.fill
+        llc_fill = llc.fill
+        dram_override = hierarchy.oracle_overrides.get("DRAM")
+        dram_access = dram.access
+        l2_prefetcher = hierarchy.l2_prefetcher
+        l2p_train = l2_prefetcher.train if l2_prefetcher is not None else None
+        l1_next = hierarchy.l1_next_line
+        l1_contains = l1.contains
+        l2_contains = l2.contains
+        mshr_allocate = mshr.allocate
+        hm = self.hit_miss
+        if hm is not None:
+            hm_table = hm.table
+            hm_entries = hm.num_entries
+        ports = self.ports
+        num_ports = ports.num_ports
+        rfp_ded_ports = ports.rfp_dedicated_ports
+        rfp_shares = ports.rfp_shares_demand_ports
+        rfp = self.rfp
+        rqueue = self.rqueue
+        if rfp is not None:
+            rstats = rfp.stats
+            pt = rfp.pt
+            pt_sets = pt.sets
+            pt_nsets = pt.num_sets
+            pat = pt.pat
+            pt_stride_limit = pt.stride_limit
+            pt_conf_max = pt.confidence_max
+            pt_conf_prob = pt.confidence_increment_prob
+            pt_util_max = pt.utility_max
+            pt_inflight_max = pt.inflight_max
+            pt_random = pt._rng.random
+            pt_trainings = pt.trainings
+            pat_ways = pat.ways if pat is not None else None
+            pat_insert = pat.insert if pat is not None else None
+            pat_lru = pat.lru if pat is not None else None
+            pat_nsets = pat.num_sets if pat is not None else 0
+            context = rfp.context
+            critical = rfp.critical_pcs
+            criticality_filter = rfp.rfp_config.criticality_filter
+            queue_entries = rfp.rfp_config.queue_entries
+            drop_on_tlb_miss = rfp.rfp_config.drop_on_tlb_miss
+            prefetch_on_l1_miss = rfp.rfp_config.prefetch_on_l1_miss
+            bit_set_offset = rfp.bit_set_offset
+            mshr_reserve = rfp.mshr_reserve
+            mshr_entries = hierarchy.mshr.num_entries
+        squn = self.sq_unexec
+        rs_window = self.rs_window
+        budget_base = self.budget_base
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # -- config scalars
+        retire_width = self.retire_width
+        rename_width = self.rename_width
+        fetch_width = self.fetch_width
+        issue_width = self.issue_width
+        rob_capacity = self.rob_capacity
+        rs_capacity = self.rs_capacity
+        lq_capacity = self.lq_capacity
+        sq_capacity = self.sq_capacity
+        min_delay = self.min_delay
+        frontend_latency = self.frontend_latency
+        redirect_extra = self.redirect_extra
+        store_forward_latency = self.store_forward_latency
+        md_flush_penalty = self.md_flush_penalty
+        idle_skip = self.idle_skip
+        limit = self.limit_cycles
+        warmup_target = self.warmup_target
+        # Wake mirror of ReservationStation.wake_consumers, with every hot
+        # structure pre-bound as a default argument so each call runs on
+        # LOAD_FASTs instead of ~17 attribute reads.  Safe because none of
+        # the bound structures is ever rebound (rs_window, which is, does
+        # not appear here).  ``now`` is the scheduler's current cycle,
+        # identical to ``self.rs_now`` at every call site.
+        def wake_batch(woken, now, sseq=sseq, sstate=sstate,
+                       sdisp=sdisp, s0=s0, s1=s1, s2=s2,
+                       ready_cycle=ready_cycle, waiters=waiters,
+                       rs_ready=rs_ready, wh_slots=wh_slots,
+                       wh_cycles=wh_cycles, heappush=heappush,
+                       SHIFT=SHIFT, SMASK=SMASK, min_delay=min_delay,
+                       INFINITY=INFINITY):
+            for ref in woken:
+                slot = ref & SMASK
+                # live + waiting; sstate==0 implies in-RS for live slots
+                if sseq[slot] != ref >> SHIFT or sstate[slot] != 0:
+                    continue
+                wake = sdisp[slot] + min_delay
+                parked = False
+                p = s0[slot]
+                if p >= 0:
+                    when = ready_cycle[p]
+                    if when > wake:
+                        if when == INFINITY:
+                            waiters[p].append(ref)
+                            parked = True
+                        else:
+                            wake = when
+                    if not parked:
+                        p = s1[slot]
+                        if p >= 0:
+                            when = ready_cycle[p]
+                            if when > wake:
+                                if when == INFINITY:
+                                    waiters[p].append(ref)
+                                    parked = True
+                                else:
+                                    wake = when
+                            if not parked:
+                                p = s2[slot]
+                                if p >= 0:
+                                    when = ready_cycle[p]
+                                    if when > wake:
+                                        if when == INFINITY:
+                                            waiters[p].append(ref)
+                                            parked = True
+                                        else:
+                                            wake = when
+                if parked:
+                    continue
+                if wake <= now:
+                    heappush(rs_ready, ref)
+                else:
+                    slot_list = wh_slots.get(wake)
+                    if slot_list is not None:
+                        slot_list.append(ref)
+                    else:
+                        wh_slots[wake] = [ref]
+                        heappush(wh_cycles, wake)
+
+        # -- mutable lane scalars (written back on exit)
+        cycle = self.cycle
+        nseq = self.next_seq
+        rs_now = self.rs_now
+        senior = self.senior
+        mdtick = md._commit_tick
+        st_instr = stats.instructions
+        st_issued = stats.issued
+        st_loads = stats.loads
+        st_stores = stats.stores
+        st_branches = stats.branches
+        st_brmisp = stats.branch_mispredicts
+        st_lsc = stats.loads_single_cycle
+        st_lfwd = stats.load_forwards
+        st_latsum = stats.load_latency_sum
+        st_latcnt = stats.load_latency_count
+        st_replay = stats.replay_issues
+        rs_live = self.rs_live
+        rs_dead = self.rs_dead
+        replay_debt = self.replay_debt
+        issued_total = self.issued_total
+        replay_issues_total = self.replay_issues_total
+        lq_count = self.lq_count
+        sq_count = self.sq_count
+        sq_forwards = self.sq_forwards
+        rb_head = self.rb_head
+        rb_count = self.rb_count
+        f_idx = self.f_idx
+        f_limit = self.f_limit
+        f_stall = self.f_stall
+        f_blocked = self.f_blocked
+        path_hist = self.path_hist
+        fetched_total = self.fetched_total
+        idle_skipped = self.idle_skipped
+        p_demand_grants = ports.demand_grants
+        p_demand_denies = ports.demand_denies
+        p_rfp_grants = ports.rfp_grants
+        p_rfp_denies = ports.rfp_denies
+
+        status = "live"
+        while True:
+            if cycle >= stop_cycle:
+                break
+            if not (f_idx < f_limit or rb_count or rob):
+                status = "drained"
+                break
+            if cycle > limit:
+                status = "dead"
+                head_seq = (rob[0] >> SHIFT) if rob else "<empty>"
+                pending = []
+                if ev_cycles:
+                    pending.append(ev_cycles[0])
+                if wh_cycles:
+                    pending.append(wh_cycles[0])
+                self.error = RuntimeError(
+                    "simulation of workload %r under config %r exceeded "
+                    "%d cycles at trace index %d (ROB head seq=%s; "
+                    "timing wheel %s; likely deadlock)\n%s"
+                    % (self.core.trace.name, self.config.name, limit, f_idx,
+                       head_seq,
+                       "next event at cycle %d" % min(pending)
+                       if pending else "empty",
+                       "(batched detailed lane; re-run scalar for the full "
+                       "invariant report)")
+                )
+                break
+            b_instr = st_instr
+            b_issued = st_issued
+            b_seq = nseq
+            b_fetched = fetched_total
+
+            # ---- ports.begin_cycle (per-cycle grant counters) ----------
+            demand_used = 0
+            rfp_ded_used = 0
+            rfp_shared_used = 0
+
+            # ---- timed events (branch resolutions) ---------------------
+            if ev_cycles and ev_cycles[0] <= cycle:
+                while ev_cycles and ev_cycles[0] <= cycle:
+                    for ref in ev_slots.pop(heappop(ev_cycles)):
+                        slot = ref & SMASK
+                        if sseq[slot] != ref >> SHIFT or sstate[slot] == -1:
+                            continue
+                        ti = stidx[slot]
+                        if f_blocked == ti:
+                            f_blocked = -1
+                            f_stall = cycle + redirect_extra
+
+            # ---- commit ------------------------------------------------
+            while senior and senior[0] <= cycle:
+                heappop(senior)
+            if rob:
+                hslot = rob[0] & SMASK
+                if sstate[hslot] == 2 and scomp[hslot] <= cycle:
+                    retired = 0
+                    while retired < retire_width:
+                        if not rob:
+                            break
+                        href = rob[0]
+                        hslot = href & SMASK
+                        if sstate[hslot] != 2 or scomp[hslot] > cycle:
+                            break
+                        rob.popleft()
+                        st_instr += 1
+                        dest = sdest[hslot]
+                        if dest >= 0:
+                            free_list.append(sprev[hslot])
+                            if prod[dest] == href:
+                                prod[dest] = -1
+                        kind = skind[hslot]
+                        if kind == K_LOAD:
+                            st_loads += 1
+                            lq_count -= 1
+                            sinlq[hslot] = 0
+                            word = sword[hslot]
+                            lst = lq_exec.get(word)
+                            if lst:
+                                i = bisect_left(lst, href & ~SMASK)
+                                if i < len(lst) and lst[i] == href:
+                                    del lst[i]
+                                    if not lst:
+                                        del lq_exec[word]
+                            mdtick += 1
+                            if mdtick % md_decay == 0:
+                                mi = (spc[hslot] >> 2) % md_entries
+                                if md_table[mi] > 0:
+                                    md_table[mi] -= 1
+                            if rfp is not None:
+                                # rfp.on_load_commit: pt.on_commit +
+                                # pt.train, inlined with hoisted PT fields
+                                pc = spc[hslot]
+                                addr_c = saddr[hslot]
+                                key = pc >> 2
+                                pt_set = pt_sets[key % pt_nsets]
+                                tag = key & 0xFFFF
+                                entry = pt_set.get(tag)
+                                if entry is not None and entry.inflight > 0:
+                                    entry.inflight -= 1
+                                pt_trainings += 1
+                                if entry is None:
+                                    entry = pt._allocate(pt_set, tag)
+                                    base = None
+                                elif pat is None:
+                                    base = entry.base_addr
+                                else:
+                                    ptr = entry.pat_pointer
+                                    if ptr is None:
+                                        base = None
+                                    else:
+                                        pg = pat_ways[ptr[0]][ptr[1]]
+                                        base = (None if pg is None else
+                                                (pg << 12)
+                                                | entry.page_offset)
+                                if base is not None:
+                                    new_stride = addr_c - base
+                                    if (new_stride == entry.stride
+                                            and -pt_stride_limit
+                                            <= new_stride < pt_stride_limit):
+                                        if entry.confidence < pt_conf_max:
+                                            if pt_random() < pt_conf_prob:
+                                                entry.confidence += 1
+                                                if (entry.confidence
+                                                        == pt_conf_max):
+                                                    pt.confidence_saturations += 1
+                                        if entry.utility < pt_util_max:
+                                            entry.utility += 1
+                                    else:
+                                        entry.confidence = 0
+                                        entry.utility = 0
+                                        entry.stride = (
+                                            new_stride
+                                            if -pt_stride_limit
+                                            <= new_stride < pt_stride_limit
+                                            else 0)
+                                if pat is None:
+                                    entry.base_addr = addr_c
+                                else:
+                                    # pat.insert, inlined (find + LRU touch
+                                    # or LRU-way replacement)
+                                    pg_i = addr_c >> 12
+                                    set_i = pg_i % pat_nsets
+                                    ways_row = pat_ways[set_i]
+                                    order = pat_lru[set_i]
+                                    try:
+                                        way = ways_row.index(pg_i)
+                                    except ValueError:
+                                        way = order[0]
+                                        if ways_row[way] is not None:
+                                            pat.evictions += 1
+                                        ways_row[way] = pg_i
+                                        pat.insertions += 1
+                                    order.remove(way)
+                                    order.append(way)
+                                    entry.pat_pointer = (set_i, way)
+                                    entry.page_offset = addr_c & 4095
+                                if context is not None:
+                                    context.train(pc, path_hist, addr_c)
+                        elif kind == K_STORE:
+                            st_stores += 1
+                            # hierarchy.store_commit, inlined (write-
+                            # allocate into the L1; outer fills on miss)
+                            hierarchy.store_accesses += 1
+                            addr_c = saddr[hslot]
+                            page = addr_c >> 12
+                            tlb_set = dtlb_sets[page & dtlb_mask]
+                            if page in tlb_set:
+                                tlb_set.pop(page)
+                                tlb_set[page] = True
+                                dtlb.hits += 1
+                                start_s = cycle
+                            else:
+                                dtlb.misses += 1
+                                if len(tlb_set) >= dtlb_assoc:
+                                    tlb_set.pop(next(iter(tlb_set)))
+                                tlb_set[page] = True
+                                start_s = cycle + dtlb_walk
+                            line = addr_c >> l1_shift
+                            l1_set = l1_sets[line & l1_mask]
+                            if line in l1_set:
+                                # l1.lookup LRU touch + mark_dirty
+                                l1_set.pop(line)
+                                l1_set[line] = True
+                                l1_stats.hits += 1
+                                release = start_s + 1
+                            else:
+                                l1_stats.misses += 1
+                                if l2.lookup(line):
+                                    release = start_s + l2_serve
+                                elif llc.lookup(line):
+                                    release = start_s + llc_serve
+                                else:
+                                    release = dram.access(start_s)
+                                    llc.fill(line)
+                                    l2.fill(line)
+                                l1_fill(line, dirty=True)
+                            sq_count -= 1
+                            sinsq[hslot] = 0
+                            word = sword[hslot]
+                            lst = sq_exec.get(word)
+                            if lst:
+                                i = bisect_left(lst, href & ~SMASK)
+                                if i < len(lst) and lst[i] == href:
+                                    del lst[i]
+                                    if not lst:
+                                        del sq_exec[word]
+                            heappush(senior, release)
+                        elif kind == K_BRANCH:
+                            st_branches += 1
+                            if smisp[hslot]:
+                                st_brmisp += 1
+                        slot_free.append(hslot)
+                        if warmup_target and st_instr == warmup_target:
+                            # snapshot_counters reads the stats object;
+                            # sync the hot locals before taking it
+                            stats.instructions = st_instr
+                            stats.issued = st_issued
+                            stats.loads = st_loads
+                            stats.stores = st_stores
+                            stats.branches = st_branches
+                            stats.branch_mispredicts = st_brmisp
+                            stats.loads_single_cycle = st_lsc
+                            stats.load_forwards = st_lfwd
+                            stats.load_latency_sum = st_latsum
+                            stats.load_latency_count = st_latcnt
+                            stats.replay_issues = st_replay
+                            core = self.core
+                            core.cycle = cycle
+                            core.frontend.path_history = path_hist
+                            core.warmup_snapshot = core.snapshot_counters()
+                        retired += 1
+
+            # ---- select (ReservationStation._select_event) -------------
+            rs_now = cycle
+            if wh_cycles and wh_cycles[0] <= cycle:
+                while wh_cycles and wh_cycles[0] <= cycle:
+                    wake_batch(wh_slots.pop(heappop(wh_cycles)), cycle)
+            issued = 0
+            while replay_debt > 0 and issued < issue_width:
+                replay_debt -= 1
+                replay_issues_total += 1
+                issued += 1
+            if issued < issue_width and rs_ready:
+                budget = budget_base[:]
+                deferred = None
+                while rs_ready and issued < issue_width:
+                    ref = heappop(rs_ready)
+                    slot = ref & SMASK
+                    seq = ref >> SHIFT
+                    if sseq[slot] != seq or sstate[slot] != 0:
+                        continue
+                    p0 = s0[slot]
+                    p1 = s1[slot]
+                    p2 = s2[slot]
+                    if ((p0 >= 0 and ready_cycle[p0] > cycle)
+                            or (p1 >= 0 and ready_cycle[p1] > cycle)
+                            or (p2 >= 0 and ready_cycle[p2] > cycle)):
+                        # stale park: re-evaluate (scheduler._evaluate)
+                        wake = sdisp[slot] + min_delay
+                        parked = False
+                        if p0 >= 0:
+                            when = ready_cycle[p0]
+                            if when > wake:
+                                if when == INFINITY:
+                                    waiters[p0].append(ref)
+                                    parked = True
+                                else:
+                                    wake = when
+                        if not parked and p1 >= 0:
+                            when = ready_cycle[p1]
+                            if when > wake:
+                                if when == INFINITY:
+                                    waiters[p1].append(ref)
+                                    parked = True
+                                else:
+                                    wake = when
+                        if not parked and p2 >= 0:
+                            when = ready_cycle[p2]
+                            if when > wake:
+                                if when == INFINITY:
+                                    waiters[p2].append(ref)
+                                    parked = True
+                                else:
+                                    wake = when
+                        if not parked:
+                            if wake <= rs_now:
+                                heappush(rs_ready, ref)
+                            else:
+                                slot_list = wh_slots.get(wake)
+                                if slot_list is not None:
+                                    slot_list.append(ref)
+                                else:
+                                    wh_slots[wake] = [ref]
+                                    heappush(wh_cycles, wake)
+                        continue
+                    fu = sfu[slot]
+                    if budget[fu] <= 0:
+                        if deferred is None:
+                            deferred = []
+                        deferred.append(ref)
+                        continue
+                    # ---- try_issue, inlined per kind -------------------
+                    kind = skind[slot]
+                    ok = True
+                    if kind == K_LOAD:
+                        # == OOOCore._issue_load ==
+                        pc = spc[slot]
+                        if md_table[(pc >> 2) % md_entries] >= 2:
+                            while squn:
+                                h = squn[0]
+                                hs = h & SMASK
+                                if sseq[hs] != h >> SHIFT or sstate[hs] != 0:
+                                    heappop(squn)
+                                    continue
+                                break
+                            if squn and (squn[0] >> SHIFT) < seq:
+                                ok = False
+                        if ok:
+                            word = sword[slot]
+                            store_ref = -1
+                            lst = sq_exec.get(word)
+                            if lst:
+                                i = bisect_left(lst, ref & ~SMASK) - 1
+                                if i >= 0:
+                                    store_ref = lst[i]
+                                    sq_forwards += 1
+                            finished = False
+                            if rfp is not None and srfp[slot] == 2:
+                                # RFP fast path (D.RFP_INFLIGHT)
+                                if cycle >= srfpbit[slot]:
+                                    if srfpaddr[slot] == saddr[slot]:
+                                        fresh = (store_ref >> SHIFT
+                                                 if store_ref >= 0 else -1)
+                                        if fresh == srfpseq[slot]:
+                                            rc = srfpcomp[slot]
+                                            complete = rc if rc > cycle + 1 else cycle + 1
+                                            fully_hidden = rc <= cycle + 1
+                                            rstats.useful += 1
+                                            if fully_hidden:
+                                                rstats.full_hide += 1
+                                            else:
+                                                rstats.partial_hide += 1
+                                            srfp[slot] = 4  # RFP_USED
+                                            sfwd[slot] = fresh
+                                            if fully_hidden:
+                                                st_lsc += 1
+                                            # _finish_load
+                                            sstate[slot] = 2
+                                            scomp[slot] = complete
+                                            dest = sdest[slot]
+                                            if dest >= 0:
+                                                ready_cycle[dest] = complete
+                                                woken = waiters[dest]
+                                                if woken:
+                                                    waiters[dest] = []
+                                                    wake_batch(woken, cycle)
+                                            st_issued += 1
+                                            lst2 = lq_exec.get(word)
+                                            if lst2 is None:
+                                                lq_exec[word] = [ref]
+                                            else:
+                                                insort(lst2, ref)
+                                            st_latsum += complete - cycle
+                                            st_latcnt += 1
+                                            finished = True
+                                        else:
+                                            rstats.md_stale += 1
+                                            srfp[slot] = 5  # RFP_WRONG
+                                            dest = sdest[slot]
+                                            count = (ncons[dest]
+                                                     if dest >= 0 else 0)
+                                            replay_debt += count
+                                            st_replay += count
+                                    else:
+                                        rstats.wrong_addr += 1
+                                        pt.on_misprediction(pc, saddr[slot])
+                                        srfp[slot] = 5  # RFP_WRONG
+                                        dest = sdest[slot]
+                                        count = (ncons[dest]
+                                                 if dest >= 0 else 0)
+                                        replay_debt += count
+                                        st_replay += count
+                                else:
+                                    rstats.race_lost += 1
+                                    srfp[slot] = 3  # RFP_DROPPED
+                            if not finished:
+                                # normal demand path (ports.claim_demand)
+                                if demand_used < num_ports:
+                                    demand_used += 1
+                                    p_demand_grants += 1
+                                else:
+                                    p_demand_denies += 1
+                                    ok = False
+                                if ok:
+                                    if rfp is not None and srfp[slot] == 1:
+                                        # note_load_issued_first (RFP_QUEUED)
+                                        srfp[slot] = 3
+                                        rstats.dropped_load_first += 1
+                                    if store_ref >= 0:
+                                        complete = cycle + store_forward_latency
+                                        sfwd[slot] = store_ref >> SHIFT
+                                        st_lfwd += 1
+                                    else:
+                                        if hm is not None:
+                                            hm.predictions += 1
+                                            hm_index = (pc >> 2) % hm_entries
+                                            predicted_hit = hm_table[hm_index] >= 2
+                                        else:
+                                            predicted_hit = True
+                                        # hierarchy.load, fully inlined:
+                                        # DTLB (with fill) -> L1 -> outer
+                                        # levels -> MSHR allocate
+                                        addr = saddr[slot]
+                                        page = addr >> 12
+                                        tlb_set = dtlb_sets[page & dtlb_mask]
+                                        if page in tlb_set:
+                                            tlb_set.pop(page)
+                                            tlb_set[page] = True
+                                            dtlb.hits += 1
+                                            start_l = cycle
+                                        else:
+                                            dtlb.misses += 1
+                                            if len(tlb_set) >= dtlb_assoc:
+                                                tlb_set.pop(next(iter(tlb_set)))
+                                            tlb_set[page] = True
+                                            start_l = cycle + dtlb_walk
+                                        line = addr >> l1_shift
+                                        l1_set = l1_sets[line & l1_mask]
+                                        if line in l1_set:
+                                            l1_set[line] = l1_set.pop(line)
+                                            l1_stats.hits += 1
+                                            complete = start_l + l1_serve
+                                            level = "L1"
+                                            if mshr_inflight:
+                                                # MSHRFile.probe: expire,
+                                                # then check the line
+                                                mdone = [
+                                                    ln for ln, t
+                                                    in mshr_inflight.items()
+                                                    if t <= start_l]
+                                                for ln in mdone:
+                                                    del mshr_inflight[ln]
+                                                mpend = (mshr_inflight
+                                                         .get(line))
+                                                if mpend is not None:
+                                                    mshr.mshr_hits += 1
+                                                    if mpend > complete:
+                                                        complete = mpend
+                                                    level = "MSHR"
+                                            loads_served[level] += 1
+                                        else:
+                                            l1_stats.misses += 1
+                                            if l2_lookup(line):
+                                                level = "L2"
+                                                complete = start_l + l2_serve
+                                                l1_fill(line)
+                                            else:
+                                                if llc_lookup(line):
+                                                    level = "LLC"
+                                                    complete = (start_l
+                                                                + llc_serve)
+                                                else:
+                                                    level = "DRAM"
+                                                    complete = (
+                                                        start_l + dram_override
+                                                        if dram_override
+                                                        is not None
+                                                        else dram_access(start_l))
+                                                    llc_fill(line)
+                                                l2_fill(line)
+                                                l1_fill(line)
+                                            # MSHRFile.allocate at start_l
+                                            if mshr_inflight:
+                                                mdone = [
+                                                    ln for ln, t
+                                                    in mshr_inflight.items()
+                                                    if t <= start_l]
+                                                for ln in mdone:
+                                                    del mshr_inflight[ln]
+                                            mpend = mshr_inflight.get(line)
+                                            if mpend is not None:
+                                                complete = mpend
+                                            else:
+                                                if (len(mshr_inflight)
+                                                        >= mshr_capacity):
+                                                    earliest = min(
+                                                        mshr_inflight.values())
+                                                    if earliest > start_l:
+                                                        complete += (earliest
+                                                                     - start_l)
+                                                    mshr.full_stalls += 1
+                                                    for lk, t in list(
+                                                            mshr_inflight
+                                                            .items()):
+                                                        if t == earliest:
+                                                            del mshr_inflight[lk]
+                                                            break
+                                                mshr_inflight[line] = complete
+                                                mshr.allocations += 1
+                                            loads_served[level] += 1
+                                            # hierarchy._run_l2_prefetcher
+                                            if l2_prefetcher is not None:
+                                                for pf_line in l2p_train(
+                                                        pc, line):
+                                                    if (pf_line >= 0
+                                                            and not l2_contains(
+                                                                pf_line)):
+                                                        l2_fill(
+                                                            pf_line,
+                                                            is_prefetch=True)
+                                            # hierarchy._next_line_prefetch
+                                            if l1_next:
+                                                nl = line + 1
+                                                if (not l1_contains(nl)
+                                                        and nl not in
+                                                        mshr_inflight):
+                                                    l1_fill(nl,
+                                                            is_prefetch=True)
+                                                    if not l2_contains(nl):
+                                                        l2_fill(
+                                                            nl,
+                                                            is_prefetch=True)
+                                                    mshr_allocate(
+                                                        nl, start_l,
+                                                        complete + 1)
+                                        hit = level == "L1"
+                                        if hm is not None:
+                                            counter = hm_table[hm_index]
+                                            if (counter >= 2) != hit:
+                                                hm.mispredicts += 1
+                                            if hit:
+                                                if counter < 3:
+                                                    hm_table[hm_index] = counter + 1
+                                            elif counter > 0:
+                                                hm_table[hm_index] = counter - 1
+                                            if predicted_hit and not hit:
+                                                stats.hit_miss_mispredicts += 1
+                                                dest = sdest[slot]
+                                                count = (ncons[dest]
+                                                         if dest >= 0 else 0)
+                                                replay_debt += count
+                                                st_replay += count
+                                            elif not predicted_hit and hit:
+                                                complete += min_delay
+                                    # _finish_load
+                                    sstate[slot] = 2
+                                    scomp[slot] = complete
+                                    dest = sdest[slot]
+                                    if dest >= 0:
+                                        ready_cycle[dest] = complete
+                                        woken = waiters[dest]
+                                        if woken:
+                                            waiters[dest] = []
+                                            wake_batch(woken, cycle)
+                                    st_issued += 1
+                                    lst2 = lq_exec.get(word)
+                                    if lst2 is None:
+                                        lq_exec[word] = [ref]
+                                    else:
+                                        insort(lst2, ref)
+                                    st_latsum += complete - cycle
+                                    st_latcnt += 1
+                    elif kind == K_STORE:
+                        # == OOOCore._issue_store ==
+                        complete = cycle + 1
+                        sstate[slot] = 2
+                        scomp[slot] = complete
+                        dest = sdest[slot]
+                        if dest >= 0:
+                            ready_cycle[dest] = complete
+                            woken = waiters[dest]
+                            if woken:
+                                waiters[dest] = []
+                                wake_batch(woken, cycle)
+                        st_issued += 1
+                        word = sword[slot]
+                        lst2 = sq_exec.get(word)
+                        if lst2 is None:
+                            sq_exec[word] = [ref]
+                        else:
+                            insort(lst2, ref)
+                        # lq.oldest_violation
+                        viol = -1
+                        lst2 = lq_exec.get(word)
+                        if lst2:
+                            i = bisect_left(lst2, ref & ~SMASK)
+                            while i < len(lst2):
+                                lref = lst2[i]
+                                if sfwd[lref & SMASK] < seq:
+                                    viol = lref
+                                    break
+                                i += 1
+                        if viol >= 0:
+                            vslot = viol & SMASK
+                            # md.train_violation
+                            md_table[(spc[vslot] >> 2) % md_entries] = 3
+                            md.violations += 1
+                            # _flush_md: squash younger (inclusive), rewind
+                            stats.md_flushes += 1
+                            vseq = viol >> SHIFT
+                            while rob:
+                                tref = rob[-1]
+                                tseq = tref >> SHIFT
+                                if tseq < vseq:
+                                    break
+                                rob.pop()
+                                tslot = tref & SMASK
+                                stats.squashed_instructions += 1
+                                sstate[tslot] = -1
+                                tdest = sdest[tslot]
+                                if tdest >= 0:
+                                    arch = t_dsts[stidx[tslot]]
+                                    if rat[arch] != tdest:
+                                        raise RuntimeError(
+                                            "squash order violation: r%d maps "
+                                            "to p%d, expected p%d"
+                                            % (arch, rat[arch], tdest))
+                                    rat[arch] = sprev[tslot]
+                                    free_list.append(tdest)
+                                    if prod[tdest] == tref:
+                                        prod[tdest] = -1
+                                if sinrs[tslot]:
+                                    sinrs[tslot] = 0
+                                    rs_live -= 1
+                                    rs_dead += 1
+                                    q0 = s0[tslot]
+                                    q1 = s1[tslot]
+                                    q2 = s2[tslot]
+                                    if q0 >= 0:
+                                        ncons[q0] -= 1
+                                    if q1 >= 0 and q1 != q0:
+                                        ncons[q1] -= 1
+                                    if q2 >= 0 and q2 != q0 and q2 != q1:
+                                        ncons[q2] -= 1
+                                tkind = skind[tslot]
+                                if tkind == K_LOAD:
+                                    lq_count -= 1
+                                    sinlq[tslot] = 0
+                                    tword = sword[tslot]
+                                    lst3 = lq_exec.get(tword)
+                                    if lst3:
+                                        i = bisect_left(lst3, tref & ~SMASK)
+                                        if i < len(lst3) and lst3[i] == tref:
+                                            del lst3[i]
+                                            if not lst3:
+                                                del lq_exec[tword]
+                                    if rfp is not None:
+                                        pt.on_squash(spc[tslot])
+                                        if srfp[tslot] == 1:
+                                            srfp[tslot] = 3
+                                            rstats.dropped_squash += 1
+                                elif tkind == K_STORE:
+                                    sq_count -= 1
+                                    sinsq[tslot] = 0
+                                    tword = sword[tslot]
+                                    lst3 = sq_exec.get(tword)
+                                    if lst3:
+                                        i = bisect_left(lst3, tref & ~SMASK)
+                                        if i < len(lst3) and lst3[i] == tref:
+                                            del lst3[i]
+                                            if not lst3:
+                                                del sq_exec[tword]
+                                slot_free.append(tslot)
+                            # frontend.flush_rewind
+                            rb_count = 0
+                            f_idx = stidx[vslot]
+                            f_blocked = -1
+                            f_stall = cycle + md_flush_penalty
+                    else:
+                        # == OOOCore._try_issue ALU/branch ==
+                        complete = cycle + slat[slot]
+                        sstate[slot] = 2
+                        scomp[slot] = complete
+                        dest = sdest[slot]
+                        if dest >= 0:
+                            ready_cycle[dest] = complete
+                            woken = waiters[dest]
+                            if woken:
+                                waiters[dest] = []
+                                wake_batch(woken, cycle)
+                        st_issued += 1
+                        if kind == K_BRANCH and smisp[slot]:
+                            slot_list = ev_slots.get(complete)
+                            if slot_list is not None:
+                                slot_list.append(ref)
+                            else:
+                                ev_slots[complete] = [ref]
+                                heappush(ev_cycles, complete)
+                    if ok:
+                        budget[fu] -= 1
+                        issued += 1
+                        issued_total += 1
+                        sinrs[slot] = 0
+                        rs_live -= 1
+                        rs_dead += 1
+                        if p0 >= 0:
+                            ncons[p0] -= 1
+                        if p1 >= 0 and p1 != p0:
+                            ncons[p1] -= 1
+                        if p2 >= 0 and p2 != p0 and p2 != p1:
+                            ncons[p2] -= 1
+                    else:
+                        if deferred is None:
+                            deferred = []
+                        deferred.append(ref)
+                if deferred is not None:
+                    for ref in deferred:
+                        heappush(rs_ready, ref)
+                if rs_dead > 256 and rs_dead * 2 > len(rs_window):
+                    rs_window = [r for r in rs_window
+                                 if sinrs[r & SMASK]
+                                 and sseq[r & SMASK] == r >> SHIFT]
+                    self.rs_window = rs_window
+                    rs_dead = 0
+
+            # ---- RFP pump (RFPEngine.step) -----------------------------
+            if rfp is not None and rqueue:
+                while rqueue:
+                    pref, paddr = rqueue[0]
+                    pslot = pref & SMASK
+                    pseq = pref >> SHIFT
+                    if sseq[pslot] != pseq or srfp[pslot] != 1:
+                        rqueue.popleft()
+                        continue
+                    if sstate[pslot] != 0:
+                        srfp[pslot] = 3
+                        rstats.dropped_load_first += 1
+                        rqueue.popleft()
+                        continue
+                    word = paddr & ~7
+                    store_ref = -1
+                    lst = sq_exec.get(word)
+                    if lst:
+                        i = bisect_left(lst, pref & ~SMASK) - 1
+                        if i >= 0:
+                            store_ref = lst[i]
+                            sq_forwards += 1
+                    if store_ref >= 0:
+                        # _complete(value_seq=store.seq)
+                        srfp[pslot] = 2
+                        srfpaddr[pslot] = paddr
+                        srfpcomp[pslot] = cycle + store_forward_latency
+                        srfpbit[pslot] = cycle + bit_set_offset
+                        srfpseq[pslot] = store_ref >> SHIFT
+                        rstats.executed += 1
+                        rstats.forwarded += 1
+                        rqueue.popleft()
+                        continue
+                    if md_table[(spc[pslot] >> 2) % md_entries] >= 2:
+                        while squn:
+                            h = squn[0]
+                            hs = h & SMASK
+                            if sseq[hs] != h >> SHIFT or sstate[hs] != 0:
+                                heappop(squn)
+                                continue
+                            break
+                        if squn and (squn[0] >> SHIFT) < pseq:
+                            rstats.blocked_cycles += 1
+                            break
+                    pg = paddr >> 12
+                    if (drop_on_tlb_miss
+                            and pg not in dtlb_sets[pg & dtlb_mask]):
+                        srfp[pslot] = 3
+                        rstats.dropped_tlb += 1
+                        rqueue.popleft()
+                        continue
+                    if len(mshr_inflight) >= mshr_entries - mshr_reserve:
+                        # hierarchy.probe_level not in ("L1", "MSHR")
+                        pline = paddr >> l1_shift
+                        if (pline not in l1_sets[pline & l1_mask]
+                                and pline not in mshr_inflight):
+                            rstats.blocked_cycles += 1
+                            break
+                    # ports.claim_rfp
+                    if rfp_ded_used < rfp_ded_ports:
+                        rfp_ded_used += 1
+                        p_rfp_grants += 1
+                    elif rfp_shares and (num_ports - demand_used - rfp_shared_used) > 0:
+                        rfp_shared_used += 1
+                        p_rfp_grants += 1
+                    else:
+                        p_rfp_denies += 1
+                        break
+                    # hierarchy.load(fill_tlb=False,
+                    # count_distribution=False), fully inlined
+                    ppc = spc[pslot]
+                    tlb_set = dtlb_sets[pg & dtlb_mask]
+                    if pg in tlb_set:
+                        tlb_set.pop(pg)
+                        tlb_set[pg] = True
+                        dtlb.hits += 1
+                        pstart = cycle
+                    else:
+                        # fill=False: count the miss, do not install
+                        dtlb.misses += 1
+                        pstart = cycle + dtlb_walk
+                    pline = paddr >> l1_shift
+                    l1_set = l1_sets[pline & l1_mask]
+                    if pline in l1_set:
+                        l1_set[pline] = l1_set.pop(pline)
+                        l1_stats.hits += 1
+                        pcomplete = pstart + l1_serve
+                        plevel = "L1"
+                        if mshr_inflight:
+                            mdone = [ln for ln, t
+                                     in mshr_inflight.items()
+                                     if t <= pstart]
+                            for ln in mdone:
+                                del mshr_inflight[ln]
+                            mpend = mshr_inflight.get(pline)
+                            if mpend is not None:
+                                mshr.mshr_hits += 1
+                                if mpend > pcomplete:
+                                    pcomplete = mpend
+                                plevel = "MSHR"
+                    else:
+                        l1_stats.misses += 1
+                        if l2_lookup(pline):
+                            plevel = "L2"
+                            pcomplete = pstart + l2_serve
+                            l1_fill(pline)
+                        else:
+                            if llc_lookup(pline):
+                                plevel = "LLC"
+                                pcomplete = pstart + llc_serve
+                            else:
+                                plevel = "DRAM"
+                                pcomplete = (pstart + dram_override
+                                             if dram_override is not None
+                                             else dram_access(pstart))
+                                llc_fill(pline)
+                            l2_fill(pline)
+                            l1_fill(pline)
+                        # MSHRFile.allocate at pstart
+                        if mshr_inflight:
+                            mdone = [ln for ln, t
+                                     in mshr_inflight.items()
+                                     if t <= pstart]
+                            for ln in mdone:
+                                del mshr_inflight[ln]
+                        mpend = mshr_inflight.get(pline)
+                        if mpend is not None:
+                            pcomplete = mpend
+                        else:
+                            if len(mshr_inflight) >= mshr_capacity:
+                                earliest = min(mshr_inflight.values())
+                                if earliest > pstart:
+                                    pcomplete += earliest - pstart
+                                mshr.full_stalls += 1
+                                for lk, t in list(mshr_inflight.items()):
+                                    if t == earliest:
+                                        del mshr_inflight[lk]
+                                        break
+                            mshr_inflight[pline] = pcomplete
+                            mshr.allocations += 1
+                        # hierarchy._run_l2_prefetcher
+                        if l2_prefetcher is not None:
+                            for pf_line in l2p_train(ppc, pline):
+                                if (pf_line >= 0
+                                        and not l2_contains(pf_line)):
+                                    l2_fill(pf_line, is_prefetch=True)
+                        # hierarchy._next_line_prefetch
+                        if l1_next:
+                            nl = pline + 1
+                            if (not l1_contains(nl)
+                                    and nl not in mshr_inflight):
+                                l1_fill(nl, is_prefetch=True)
+                                if not l2_contains(nl):
+                                    l2_fill(nl, is_prefetch=True)
+                                mshr_allocate(nl, pstart, pcomplete + 1)
+                    if hm is not None:
+                        # hm.train(ppc, plevel == "L1")
+                        phit = plevel == "L1"
+                        hi = (ppc >> 2) % hm_entries
+                        counter = hm_table[hi]
+                        if (counter >= 2) != phit:
+                            hm.mispredicts += 1
+                        if phit:
+                            if counter < 3:
+                                hm_table[hi] = counter + 1
+                        elif counter > 0:
+                            hm_table[hi] = counter - 1
+                    if plevel != "L1" and not prefetch_on_l1_miss:
+                        srfp[pslot] = 3
+                        rstats.dropped_l1_miss += 1
+                        rqueue.popleft()
+                        continue
+                    srfp[pslot] = 2
+                    srfpaddr[pslot] = paddr
+                    srfpcomp[pslot] = pcomplete
+                    srfpbit[pslot] = cycle + bit_set_offset
+                    srfpseq[pslot] = -1
+                    rstats.executed += 1
+                    rqueue.popleft()
+
+            # ---- dispatch (OOOCore._dispatch) --------------------------
+            if rb_count and rb_ready[rb_head] <= cycle:
+                dispatched = 0
+                while dispatched < rename_width:
+                    if not rb_count or rb_ready[rb_head] > cycle:
+                        break
+                    if len(rob) >= rob_capacity:
+                        stats.stall_rob += 1
+                        break
+                    if rs_live >= rs_capacity:
+                        stats.stall_rs += 1
+                        break
+                    ti = rb_tidx[rb_head]
+                    kind = t_kind[ti]
+                    if kind == K_LOAD and lq_count >= lq_capacity:
+                        stats.stall_lq += 1
+                        break
+                    if kind == K_STORE:
+                        while senior and senior[0] <= cycle:
+                            heappop(senior)
+                        if sq_count + len(senior) >= sq_capacity:
+                            stats.stall_sq += 1
+                            break
+                    dst = t_dsts[ti]
+                    if dst >= 0 and not free_list:
+                        stats.stall_prf += 1
+                        break
+                    rb_head = (rb_head + 1) & RB_MASK
+                    rb_count -= 1
+                    slot = slot_free.pop()
+                    seq = nseq
+                    nseq += 1
+                    ref = (seq << SHIFT) | slot
+                    sseq[slot] = seq
+                    sstate[slot] = 0
+                    skind[slot] = kind
+                    sfu[slot] = t_fu[ti]
+                    slat[slot] = t_lat[ti]
+                    stidx[slot] = ti
+                    sdisp[slot] = cycle
+                    # rename sources (pre-flattened arch-src columns)
+                    a = t_as0[ti]
+                    p0 = rat[a] if a >= 0 else -1
+                    a = t_as1[ti]
+                    p1 = rat[a] if a >= 0 else -1
+                    a = t_as2[ti]
+                    p2 = rat[a] if a >= 0 else -1
+                    s0[slot] = p0
+                    s1[slot] = p1
+                    s2[slot] = p2
+                    if p0 >= 0:
+                        ncons[p0] += 1
+                    if p1 >= 0 and p1 != p0:
+                        ncons[p1] += 1
+                    if p2 >= 0 and p2 != p0 and p2 != p1:
+                        ncons[p2] += 1
+                    # rename dest (rename.allocate_dest)
+                    if dst >= 0:
+                        preg = free_list.pop()
+                        sdest[slot] = preg
+                        sprev[slot] = rat[dst]
+                        rat[dst] = preg
+                        ready_cycle[preg] = INFINITY
+                        if waiters[preg]:
+                            waiters[preg] = []
+                    else:
+                        sdest[slot] = -1
+                    rob.append(ref)
+                    # rs.allocate + initial _evaluate parking
+                    sinrs[slot] = 1
+                    rs_window.append(ref)
+                    rs_live += 1
+                    wake = cycle + min_delay
+                    parked = False
+                    if p0 >= 0:
+                        when = ready_cycle[p0]
+                        if when > wake:
+                            if when == INFINITY:
+                                waiters[p0].append(ref)
+                                parked = True
+                            else:
+                                wake = when
+                    if not parked and p1 >= 0:
+                        when = ready_cycle[p1]
+                        if when > wake:
+                            if when == INFINITY:
+                                waiters[p1].append(ref)
+                                parked = True
+                            else:
+                                wake = when
+                    if not parked and p2 >= 0:
+                        when = ready_cycle[p2]
+                        if when > wake:
+                            if when == INFINITY:
+                                waiters[p2].append(ref)
+                                parked = True
+                            else:
+                                wake = when
+                    if not parked:
+                        if wake <= rs_now:
+                            heappush(rs_ready, ref)
+                        else:
+                            slot_list = wh_slots.get(wake)
+                            if slot_list is not None:
+                                slot_list.append(ref)
+                            else:
+                                wh_slots[wake] = [ref]
+                                heappush(wh_cycles, wake)
+                    if rfp is not None and (kind == K_LOAD or kind == K_BRANCH):
+                        # criticality: load producers of load/branch sources
+                        if p0 >= 0:
+                            pref2 = prod[p0]
+                            if pref2 >= 0 and skind[pref2 & SMASK] == K_LOAD:
+                                rfp.mark_critical(spc[pref2 & SMASK])
+                        if p1 >= 0:
+                            pref2 = prod[p1]
+                            if pref2 >= 0 and skind[pref2 & SMASK] == K_LOAD:
+                                rfp.mark_critical(spc[pref2 & SMASK])
+                        if p2 >= 0:
+                            pref2 = prod[p2]
+                            if pref2 >= 0 and skind[pref2 & SMASK] == K_LOAD:
+                                rfp.mark_critical(spc[pref2 & SMASK])
+                    if kind == K_LOAD:
+                        mi = t_mem_pos[ti]
+                        pc = t_m_pcs[mi]
+                        spc[slot] = pc
+                        saddr[slot] = t_m_addrs[mi]
+                        sword[slot] = t_m_aligned[mi]
+                        sfwd[slot] = -1
+                        srfp[slot] = 0
+                        sinlq[slot] = 1
+                        lq_count += 1
+                        if rfp is not None:
+                            # RFPEngine.on_load_dispatch (inject=True);
+                            # pt.on_allocate inlined with hoisted PT fields
+                            key = pc >> 2
+                            pt_set = pt_sets[key % pt_nsets]
+                            tag = key & 0xFFFF
+                            entry = pt_set.get(tag)
+                            if entry is None:
+                                entry = pt._allocate(pt_set, tag)
+                            if entry.inflight < pt_inflight_max:
+                                entry.inflight += 1
+                            eligible = False
+                            predicted = None
+                            if entry.confidence >= pt_conf_max:
+                                if pat is None:
+                                    base = entry.base_addr
+                                else:
+                                    ptr = entry.pat_pointer
+                                    if ptr is None:
+                                        base = None
+                                    else:
+                                        pg = pat_ways[ptr[0]][ptr[1]]
+                                        base = (None if pg is None else
+                                                (pg << 12)
+                                                | entry.page_offset)
+                                if base is not None:
+                                    predicted = (base + entry.stride
+                                                 * entry.inflight)
+                                    if predicted >= 0:
+                                        eligible = True
+                                    else:
+                                        predicted = None
+                            if not eligible and context is not None:
+                                context_pred = context.predict(pc, path_hist)
+                                if context_pred is not None:
+                                    eligible = True
+                                    predicted = context_pred
+                            if eligible:
+                                if criticality_filter and pc not in critical:
+                                    pass
+                                elif len(rqueue) >= queue_entries:
+                                    rstats.dropped_queue_full += 1
+                                else:
+                                    srfp[slot] = 1
+                                    rqueue.append((ref, predicted))
+                                    rstats.injected += 1
+                    elif kind == K_STORE:
+                        mi = t_mem_pos[ti]
+                        spc[slot] = t_m_pcs[mi]
+                        saddr[slot] = t_m_addrs[mi]
+                        sword[slot] = t_m_aligned[mi]
+                        # sq.allocate (rebuild check uses pre-append count
+                        # and must not see this store: sinsq is still 0)
+                        if len(squn) > 64 + 4 * sq_count:
+                            squn = [r for r in rob
+                                    if sinsq[r & SMASK] and sstate[r & SMASK] == 0]
+                            self.sq_unexec = squn
+                        sinsq[slot] = 1
+                        sq_count += 1
+                        heappush(squn, ref)
+                    elif kind == K_BRANCH:
+                        smisp[slot] = t_mispred[ti]
+                    if dst >= 0:
+                        prod[sdest[slot]] = ref
+                    dispatched += 1
+
+            # ---- fetch (Frontend.fetch) --------------------------------
+            if f_blocked < 0 and cycle >= f_stall:
+                fetched = 0
+                ready_at = cycle + frontend_latency
+                while fetched < fetch_width:
+                    if rb_count >= self.rb_capacity:
+                        break
+                    if f_idx >= f_limit:
+                        break
+                    i = f_idx
+                    f_idx = i + 1
+                    tail = (rb_head + rb_count) & RB_MASK
+                    rb_ready[tail] = ready_at
+                    rb_tidx[tail] = i
+                    rb_count += 1
+                    fetched += 1
+                    fetched_total += 1
+                    if t_kind[i] == K_BRANCH:
+                        path_hist = ((path_hist << 1) | t_taken[i]) & 0xFFFF
+                        if t_mispred[i]:
+                            f_blocked = i
+                            break
+
+            cycle += 1
+
+            # ---- idle-cycle skipping -----------------------------------
+            if (idle_skip and st_instr == b_instr
+                    and st_issued == b_issued and nseq == b_seq
+                    and fetched_total == b_fetched):
+                # sync the mutable state _idle_wake reads
+                self.replay_debt = replay_debt
+                self.rs_live = rs_live
+                self.lq_count = lq_count
+                self.sq_count = sq_count
+                self.rb_head = rb_head
+                self.rb_count = rb_count
+                self.f_idx = f_idx
+                self.f_stall = f_stall
+                self.f_blocked = f_blocked
+                found = self._idle_wake(cycle)
+                if found is not None:
+                    wake, stall_attr, rfp_blocked = found
+                    skipped = wake - cycle
+                    if skipped > 0:
+                        if stall_attr is not None:
+                            setattr(stats, stall_attr,
+                                    getattr(stats, stall_attr) + skipped)
+                        if rfp_blocked:
+                            rstats.blocked_cycles += skipped
+                        idle_skipped += skipped
+                        cycle = wake
+
+        # -- write back mutable lane scalars
+        self.cycle = cycle
+        self.next_seq = nseq
+        self.rs_now = rs_now
+        md._commit_tick = mdtick
+        stats.instructions = st_instr
+        stats.issued = st_issued
+        stats.loads = st_loads
+        stats.stores = st_stores
+        stats.branches = st_branches
+        stats.branch_mispredicts = st_brmisp
+        stats.loads_single_cycle = st_lsc
+        stats.load_forwards = st_lfwd
+        stats.load_latency_sum = st_latsum
+        stats.load_latency_count = st_latcnt
+        stats.replay_issues = st_replay
+        if rfp is not None:
+            pt.trainings = pt_trainings
+        self.rs_live = rs_live
+        self.rs_dead = rs_dead
+        self.replay_debt = replay_debt
+        self.issued_total = issued_total
+        self.replay_issues_total = replay_issues_total
+        self.lq_count = lq_count
+        self.sq_count = sq_count
+        self.sq_forwards = sq_forwards
+        self.rb_head = rb_head
+        self.rb_count = rb_count
+        self.f_idx = f_idx
+        self.f_stall = f_stall
+        self.f_blocked = f_blocked
+        self.path_hist = path_hist
+        self.fetched_total = fetched_total
+        self.idle_skipped = idle_skipped
+        ports.demand_grants = p_demand_grants
+        ports.demand_denies = p_demand_denies
+        ports.rfp_grants = p_rfp_grants
+        ports.rfp_denies = p_rfp_denies
+        return status
+
+    def finish(self):
+        """Write the lane's final state back into the wrapped core so
+        ``SimResult.from_core`` (and any inspection) reads it exactly as
+        after a scalar ``core.run()``."""
+        core = self.core
+        core.cycle = self.cycle
+        core.next_seq = self.next_seq
+        core.stats.cycles = self.cycle
+        core.idle_cycles_skipped = self.idle_skipped
+        frontend = core.frontend
+        frontend.cursor.index = self.f_idx
+        frontend.path_history = self.path_hist
+        frontend.stall_until = self.f_stall
+        frontend.blocked_branch_index = (
+            self.f_blocked if self.f_blocked >= 0 else None)
+        frontend.fetched = self.fetched_total
+        rs = core.rs
+        rs.replay_debt = self.replay_debt
+        rs.issued_total = self.issued_total
+        rs.replay_issues_total = self.replay_issues_total
+        rs.now = self.rs_now
+        rs.live = self.rs_live
+        core.sq.forwards = self.sq_forwards
+        core.sq.senior = self.senior
+        return core
+
+
+# ---------------------------------------------------------------------------
+# the lockstep driver
+
+
+class BatchDetailedEngine(object):
+    """Advance N detailed simulations in chunked lockstep.
+
+    ``run(cores)`` takes prepared (post-warm, cursor-limited)
+    :class:`~repro.core.core.OOOCore` instances, groups them into
+    ``width``-lane cohorts, and round-robins ``chunk``-cycle slices across
+    each cohort until every lane drains.  Lanes retire individually: a
+    drained lane finalizes its core immediately; a deadlocked lane records
+    its error and the rest continue.  Returns a list aligned with
+    ``cores`` holding ``None`` (success — the core is finalized) or the
+    per-lane exception.
+    """
+
+    def __init__(self, width=None, chunk=None):
+        self.width = int(width) if width else batch_detail_width_default()
+        self.chunk = int(chunk) if chunk else DEFAULT_DETAIL_CHUNK
+
+    def run(self, cores, max_cycles=None):
+        errors = [None] * len(cores)
+        chunk = self.chunk
+        for base in range(0, len(cores), self.width):
+            live = []
+            for offset, core in enumerate(cores[base:base + self.width]):
+                live.append((base + offset, _Lane(core, max_cycles)))
+            while live:
+                still = []
+                for index, lane in live:
+                    try:
+                        status = lane.run(lane.cycle + chunk)
+                    except Exception as exc:  # defensive: engine bug => lane error
+                        errors[index] = exc
+                        continue
+                    if status == "live":
+                        still.append((index, lane))
+                    elif status == "drained":
+                        lane.finish()
+                    else:
+                        errors[index] = lane.error
+                live = still
+        return errors
+
+
+def run_interval_lanes(trace, name, category, lane_specs,
+                       checkpoint_store="default", max_cycles=None,
+                       width=None, chunk=None):
+    """Run many sampled intervals of one trace through the batched core.
+
+    ``lane_specs`` is a list of dicts with keys ``config``, ``start``,
+    ``measure``, ``ramp``, ``index`` — one per lane; lanes may differ in
+    config and interval position but share ``trace``.  Each lane is
+    prepared exactly as :func:`repro.sim.runner.simulate_interval` prepares
+    its core (checkpoint restore-or-warm, ramp, fetch limit), advanced in
+    lockstep, and packaged into the identical ``SimResult`` payload.
+
+    Returns a list aligned with ``lane_specs`` where each element is a
+    ``SimResult`` or the exception that lane raised (deadlock, empty
+    measurement window).
+    """
+    from repro.sim import checkpoint
+    from repro.sim.runner import SimResult
+
+    if checkpoint_store == "default":
+        checkpoint_store = checkpoint.default_checkpoint_store()
+    length = len(trace)
+    cores = []
+    metas = []
+    for spec in lane_specs:
+        config = spec["config"]
+        start = spec["start"]
+        measure = spec["measure"]
+        ramp = spec["ramp"]
+        if measure is None:
+            measure = length - start
+        if measure < 1 or start < 0 or start + measure > length:
+            raise ValueError(
+                "interval [%d, %d) does not fit a %d-instruction trace"
+                % (start, start + measure, length))
+        if ramp < 0 or ramp > start:
+            raise ValueError(
+                "detailed ramp %d does not fit before interval start %d"
+                % (ramp, start))
+        core = OOOCore(trace, config)
+        functional = start - ramp
+        outcome = checkpoint.warm_or_restore(
+            core, name, config, length, functional, checkpoint_store)
+        core.warmup_instructions = ramp
+        core.frontend.cursor.limit = start + measure
+        cores.append(core)
+        metas.append((outcome, functional, ramp, start, measure,
+                      spec["index"]))
+    errors = BatchDetailedEngine(width, chunk).run(cores, max_cycles)
+    out = []
+    for core, meta, error in zip(cores, metas, errors):
+        if error is not None:
+            out.append(error)
+            continue
+        outcome, functional, ramp, start, measure, index = meta
+        try:
+            result = SimResult.from_core(core, name, category)
+        except Exception as exc:  # e.g. empty measurement window
+            out.append(exc)
+            continue
+        result.data["interval"] = {
+            "index": index,
+            "start": start,
+            "measure": measure,
+            "ramp": ramp,
+            "functional": functional,
+            "checkpoint": outcome,
+        }
+        result.data["fast_forward"] = {
+            "enabled": functional > 0,
+            "functional_instructions": functional,
+            "detailed_warmup": ramp,
+        }
+        result.data["idle_skipped_cycles"] = core.idle_cycles_skipped
+        out.append(result)
+    return out

@@ -278,12 +278,43 @@ class TraceColumns(object):
         return column
 
 
+#: Decoded-columns memo: id(trace) -> (trace, TraceColumns).  Keeping the
+#: trace object in the value pins its identity, so a recycled ``id`` can
+#: never alias a dead trace's columns.  Insertion order is LRU order.
+_COLUMNS_CACHE = {}
+
+
 def columns_for(trace):
-    """The (cached) :class:`TraceColumns` for ``trace``."""
-    columns = getattr(trace, "_soa_columns", None)
-    if columns is None or columns.n != len(trace.instructions):
-        columns = TraceColumns(trace)
-        trace._soa_columns = columns
+    """The (cached) :class:`TraceColumns` for ``trace``.
+
+    Bounded LRU keyed by trace identity: the capacity follows the same
+    ``REPRO_TRACE_CACHE`` budget as :func:`~repro.workloads.suite
+    .build_workload`'s trace memo, so a sweep visiting many distinct
+    (workload, length) traces holds at most budget-many decoded column
+    sets — previously the columns piggybacked on the trace objects and a
+    caller retaining traces retained every decode with them.  A trace
+    whose instruction list changed length since it was decoded is
+    re-decoded (its derived columns are stale); a budget of 0 disables
+    caching entirely, like the trace memo.
+    """
+    from repro.workloads.suite import trace_cache_capacity
+
+    capacity = trace_cache_capacity()
+    if capacity <= 0:
+        _COLUMNS_CACHE.clear()
+        return TraceColumns(trace)
+    key = id(trace)
+    entry = _COLUMNS_CACHE.get(key)
+    if entry is not None and entry[0] is trace \
+            and entry[1].n == len(trace.instructions):
+        # LRU touch: re-insert at the back of the iteration order.
+        del _COLUMNS_CACHE[key]
+        _COLUMNS_CACHE[key] = entry
+        return entry[1]
+    columns = TraceColumns(trace)
+    _COLUMNS_CACHE[key] = (trace, columns)
+    while len(_COLUMNS_CACHE) > capacity:
+        del _COLUMNS_CACHE[next(iter(_COLUMNS_CACHE))]
     return columns
 
 

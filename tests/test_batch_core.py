@@ -1,0 +1,261 @@
+"""Batched detailed core vs scalar event-driven core: bit-exactness.
+
+The batched SoA lanes (:mod:`repro.core.batch_core`) re-host the scalar
+pipeline in flat columns, so the scalar core is the oracle: for a seeded
+sample of (workload, config, interval-shape) lanes the batched engine's
+``SimResult`` payloads must equal the scalar :func:`simulate_interval`
+payloads **byte for byte** — no tolerance, no field exclusions.  The CI
+``batch-detail-equivalence`` job runs this module plus the property suite
+(``test_batch_core_properties.py``); targeted deadlock / fallback / engine
+plumbing checks live here too.
+"""
+
+import random
+
+import pytest
+
+from repro.core import batch_core
+from repro.core.batch_core import (
+    BatchDetailedEngine,
+    batch_detail_env_enabled,
+    batch_detail_supported,
+    batch_detail_width_default,
+    run_interval_lanes,
+)
+from repro.core.config import baseline, baseline_2x
+from repro.sim.runner import simulate_interval, simulate_sampled
+from repro.workloads.suite import build_workload, workload_names
+
+LENGTH = 2500
+
+#: Config space the lanes sample from: every batch-supported feature axis
+#: (RFP on/off, context, criticality filter, dedicated ports, the 2x core,
+#: no hit-miss predictor, no idle skip).  VP configs are the fallback path
+#: and are tested separately.
+CONFIG_FACTORIES = [
+    ("baseline", lambda: baseline()),
+    ("rfp", lambda: baseline(rfp={"enabled": True})),
+    ("rfp-2x", lambda: baseline_2x(rfp={"enabled": True})),
+    ("rfp-context", lambda: baseline(rfp={"enabled": True,
+                                          "context_enabled": True})),
+    ("rfp-crit", lambda: baseline(rfp={"enabled": True,
+                                       "criticality_filter": True})),
+    ("rfp-ports", lambda: baseline(rfp={"enabled": True},
+                                   rfp_dedicated_ports=1,
+                                   rfp_shares_demand_ports=False)),
+    ("no-hm", lambda: baseline(hit_miss_predictor=False,
+                               rfp={"enabled": True})),
+    ("no-idle-skip", lambda: baseline(idle_skip=False)),
+]
+
+FACTORY = dict(CONFIG_FACTORIES)
+
+
+def _lanes(count=21, seed=20220614):
+    """Deterministic (workload, config, start, measure, ramp) lane specs.
+
+    Every config factory appears at least twice before the tail is drawn
+    uniformly; interval shapes sample mid-trace starts, short and long
+    measure windows, and partial ramps — including ramp 0 (pure restore)
+    and start 0 (no functional prefix at all).
+    """
+    rng = random.Random(seed)
+    names = workload_names()
+    lanes = []
+
+    def shape():
+        start = rng.randrange(0, LENGTH - 800)
+        measure = rng.randrange(300, 1200)
+        measure = min(measure, LENGTH - start)
+        ramp = rng.randrange(0, min(start, 400) + 1)
+        return start, measure, ramp
+
+    for cfg_name, _ in CONFIG_FACTORIES * 2:
+        lanes.append((rng.choice(names), cfg_name) + shape())
+    while len(lanes) < count:
+        lanes.append((rng.choice(names),
+                      rng.choice(CONFIG_FACTORIES)[0]) + shape())
+    return lanes[:count]
+
+
+LANES = _lanes()
+
+
+def test_lane_sample_is_stable_and_large_enough():
+    assert len(LANES) >= 20
+    assert _lanes() == LANES
+    for cfg_name, _ in CONFIG_FACTORIES:
+        assert sum(1 for lane in LANES if lane[1] == cfg_name) >= 2
+
+
+def test_seeded_lanes_byte_identical_to_scalar():
+    """All seeded lanes, grouped per trace, equal the scalar oracle."""
+    scalar = []
+    for name, cfg_name, start, measure, ramp in LANES:
+        result = simulate_interval(
+            name, FACTORY[cfg_name](), length=LENGTH, start=start,
+            measure=measure, ramp=ramp, index=len(scalar),
+            checkpoint_store=None)
+        scalar.append(result.as_dict())
+    groups = {}
+    for i, lane in enumerate(LANES):
+        groups.setdefault(lane[0], []).append(i)
+    for name, indices in groups.items():
+        trace = build_workload(name, length=LENGTH)
+        specs = [{"config": FACTORY[LANES[i][1]](), "start": LANES[i][2],
+                  "measure": LANES[i][3], "ramp": LANES[i][4], "index": i}
+                 for i in indices]
+        outs = run_interval_lanes(trace, name, scalar[indices[0]]["category"],
+                                  specs, checkpoint_store=None)
+        for i, out in zip(indices, outs):
+            assert not isinstance(out, Exception), (LANES[i], out)
+            assert out.as_dict() == scalar[i], LANES[i]
+
+
+def test_width_one_and_odd_widths_agree():
+    """Cohort partitioning (width 1 / 3 / 8) never changes lane results."""
+    name = "spec06_gcc"
+    trace = build_workload(name, length=LENGTH)
+    specs = [{"config": baseline(rfp={"enabled": True}), "start": 200 * i,
+              "measure": 400, "ramp": min(100, 200 * i), "index": i}
+             for i in range(5)]
+    baseline_out = [r.as_dict() for r in run_interval_lanes(
+        trace, name, "ISPEC06", specs, checkpoint_store=None, width=8)]
+    for width in (1, 3):
+        outs = run_interval_lanes(trace, name, "ISPEC06", specs,
+                                  checkpoint_store=None, width=width)
+        assert [r.as_dict() for r in outs] == baseline_out
+
+
+def test_deadlocked_lane_retires_alone():
+    """A lane that hits max_cycles errors out; its lanemates finish."""
+    name = "spec06_mcf"
+    trace = build_workload(name, length=LENGTH)
+    config = baseline()
+    # Lane 0 measures 60 instructions (drains in well under 2000 cycles);
+    # lane 1 measures 2200 and cannot finish inside the same budget.
+    specs = [
+        {"config": config, "start": 0, "measure": 60, "ramp": 0, "index": 0},
+        {"config": config, "start": 0, "measure": 2200, "ramp": 0,
+         "index": 1},
+    ]
+    outs = run_interval_lanes(trace, name, "ISPEC06", specs,
+                              checkpoint_store=None, max_cycles=2000)
+    assert not isinstance(outs[0], Exception)
+    assert isinstance(outs[1], RuntimeError)
+    assert "likely deadlock" in str(outs[1])
+    # The survivor equals the scalar run of the same interval.
+    scalar = simulate_interval(trace, config, start=0, measure=60, ramp=0,
+                               index=0, checkpoint_store=None,
+                               max_cycles=2000)
+    assert outs[0].as_dict() == scalar.as_dict()
+    # And the scalar oracle deadlocks identically on the doomed lane.
+    with pytest.raises(RuntimeError, match="likely deadlock"):
+        simulate_interval(trace, config, start=0, measure=2200, ramp=0,
+                          index=1, checkpoint_store=None, max_cycles=2000)
+
+
+def test_sampled_batch_detail_matches_scalar(tmp_path):
+    from repro.sim.checkpoint import CheckpointStore
+
+    store = CheckpointStore(str(tmp_path))
+    config = baseline(rfp={"enabled": True})
+    scalar = simulate_sampled("spec06_libquantum", config, length=8000,
+                              warmup=4000, samples=4, interval_length=500,
+                              checkpoint_store=store, batch_detail=False)
+    batched = simulate_sampled("spec06_libquantum", config, length=8000,
+                               warmup=4000, samples=4, interval_length=500,
+                               checkpoint_store=store, batch_detail=True)
+    assert batched.data == scalar.data
+
+
+def test_sampled_adaptive_stop_matches_scalar(tmp_path):
+    from repro.sim.checkpoint import CheckpointStore
+
+    store = CheckpointStore(str(tmp_path))
+    config = baseline()
+    kwargs = dict(length=8000, warmup=4000, samples=6, interval_length=400,
+                  ci_target=0.25, min_samples=2, checkpoint_store=store)
+    scalar = simulate_sampled("tpce", config, batch_detail=False, **kwargs)
+    batched = simulate_sampled("tpce", config, batch_detail=True, **kwargs)
+    assert batched.data == scalar.data
+
+
+def test_vp_config_falls_back_to_scalar(tmp_path):
+    """VP configs silently take the scalar loop — same result either way."""
+    from repro.sim.checkpoint import CheckpointStore
+
+    config = baseline(vp={"enabled": True, "kind": "eves"})
+    assert not batch_detail_supported(config)
+    store = CheckpointStore(str(tmp_path))
+    scalar = simulate_sampled("spec06_gcc", config, length=6000, warmup=3000,
+                              samples=3, interval_length=400,
+                              checkpoint_store=store, batch_detail=False)
+    batched = simulate_sampled("spec06_gcc", config, length=6000, warmup=3000,
+                               samples=3, interval_length=400,
+                               checkpoint_store=store, batch_detail=True)
+    assert batched.data == scalar.data
+
+
+def test_supported_rejects_observed_configs(monkeypatch):
+    monkeypatch.delenv("REPRO_EVENT_LOOP", raising=False)
+    monkeypatch.delenv("REPRO_CHECK_INVARIANTS", raising=False)
+    assert batch_detail_supported(baseline())
+    assert not batch_detail_supported(
+        baseline(vp={"enabled": True, "kind": "eves"}))
+    monkeypatch.setenv("REPRO_EVENT_LOOP", "0")
+    assert not batch_detail_supported(baseline())
+    monkeypatch.delenv("REPRO_EVENT_LOOP", raising=False)
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "64")
+    assert not batch_detail_supported(baseline())
+
+
+def test_env_gates(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH_DETAIL", raising=False)
+    assert not batch_detail_env_enabled()
+    for value in ("1", "on", "true"):
+        monkeypatch.setenv("REPRO_BATCH_DETAIL", value)
+        assert batch_detail_env_enabled()
+    monkeypatch.setenv("REPRO_BATCH_DETAIL", "0")
+    assert not batch_detail_env_enabled()
+    monkeypatch.delenv("REPRO_BATCH_DETAIL_WIDTH", raising=False)
+    assert batch_detail_width_default() == batch_core.DEFAULT_DETAIL_WIDTH
+    monkeypatch.setenv("REPRO_BATCH_DETAIL_WIDTH", "13")
+    assert batch_detail_width_default() == 13
+    monkeypatch.setenv("REPRO_BATCH_DETAIL_WIDTH", "junk")
+    assert batch_detail_width_default() == batch_core.DEFAULT_DETAIL_WIDTH
+
+
+def test_run_jobs_batch_detail_matches_workers(tmp_path):
+    """The parallel batched lane returns byte-identical results and
+    accounts its jobs in the timing report."""
+    from repro.sim.cache import ResultCache
+    from repro.sim.parallel import run_jobs
+
+    config = baseline(rfp={"enabled": True})
+    vp_config = baseline(vp={"enabled": True, "kind": "eves"})
+    spec = {"samples": 3, "interval_length": 400}
+    jobs = [("spec06_gcc", config, 6000, 3000, spec),
+            ("spec06_mcf", config, 6000, 3000, spec),
+            ("spec06_gcc", vp_config, 6000, 3000, spec)]
+    scalar, _ = run_jobs(jobs, cache=ResultCache(str(tmp_path / "a")),
+                         max_workers=1, batch_detail=False)
+    batched, report = run_jobs(jobs, cache=ResultCache(str(tmp_path / "b")),
+                               max_workers=1, batch_detail=True)
+    for a, b in zip(scalar, batched):
+        assert a.data == b.data
+    # 2 batchable cells x 3 intervals ran as lanes; the VP cell fell
+    # through to the (serial) worker path as one whole-window job.
+    assert report.jobs_simulated == 7
+
+
+def test_engine_runs_empty_and_single_core():
+    assert BatchDetailedEngine(width=4).run([]) == []
+    trace = build_workload("spec06_gcc", length=LENGTH)
+    outs = run_interval_lanes(
+        trace, "spec06_gcc", "ISPEC06",
+        [{"config": baseline(), "start": 0, "measure": 600, "ramp": 0,
+          "index": 0}], checkpoint_store=None)
+    scalar = simulate_interval(trace, baseline(), start=0, measure=600,
+                               ramp=0, index=0, checkpoint_store=None)
+    assert outs[0].as_dict() == scalar.as_dict()

@@ -1,0 +1,148 @@
+"""Property-based scalar-vs-batched detailed-core equivalence.
+
+Hypothesis drives the workload generator with random seeds and kernel
+mixes, then runs random lane sets — multiple (config, interval-shape)
+lanes over one shared trace — through :func:`run_interval_lanes` and
+asserts every lane's :class:`SimResult` payload equals its scalar
+:func:`simulate_interval` oracle exactly.  A second property carves a
+trace into consecutive sampling intervals and checks equality at every
+interval boundary; a third forces lanes to deadlock or drain early
+mid-batch and checks the survivors are unperturbed while the doomed lane
+reproduces the scalar core's "likely deadlock" failure.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch_core import run_interval_lanes
+from repro.core.config import baseline, baseline_2x
+from repro.sim.runner import simulate_interval
+from repro.workloads.generator import WorkloadProfile, generate_trace
+
+LENGTH = 3000
+
+MIXES = [
+    {"strided_sum": 0.5, "hash_lookup": 0.3, "branchy_reduce": 0.2},
+    {"pointer_chase": 0.4, "store_forward": 0.4, "constant_poll": 0.2},
+    {"indirect_gather": 0.5, "copy_stream": 0.3, "sequential_chase": 0.2},
+]
+
+#: Batch-supported configs only (VP lanes fall back before reaching the
+#: engine; that routing is covered in test_batch_core.py).
+CONFIGS = [
+    lambda: baseline(),
+    lambda: baseline(rfp={"enabled": True}),
+    lambda: baseline(rfp={"enabled": True, "context_enabled": True}),
+    lambda: baseline_2x(rfp={"enabled": True}),
+    lambda: baseline(rfp={"enabled": True}, rfp_dedicated_ports=1,
+                     rfp_shares_demand_ports=False),
+    lambda: baseline(hit_miss_predictor=False, rfp={"enabled": True}),
+    lambda: baseline(idle_skip=False),
+]
+
+
+def _trace_for(seed, mix_index):
+    profile = WorkloadProfile(
+        name="prop-detail-%d-%d" % (seed, mix_index), category="T",
+        seed=seed, length=LENGTH, kernel_mix=MIXES[mix_index],
+        concurrent=4,
+    )
+    return generate_trace(profile)
+
+
+def _scalar(trace, spec, max_cycles=None):
+    return simulate_interval(
+        trace, spec["config"], start=spec["start"], measure=spec["measure"],
+        ramp=spec["ramp"], index=spec["index"], checkpoint_store=None,
+        max_cycles=max_cycles)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    mix_index=st.integers(min_value=0, max_value=len(MIXES) - 1),
+    lane_seed=st.integers(min_value=0, max_value=2 ** 16),
+    lanes=st.integers(min_value=2, max_value=6),
+)
+def test_random_lane_sets_match_scalar(seed, mix_index, lane_seed, lanes):
+    trace = _trace_for(seed, mix_index)
+    rng = random.Random(lane_seed)
+    specs = []
+    for index in range(lanes):
+        start = rng.randrange(0, LENGTH - 600)
+        measure = min(rng.randrange(200, 900), LENGTH - start)
+        ramp = rng.randrange(0, min(start, 300) + 1)
+        specs.append({"config": CONFIGS[rng.randrange(len(CONFIGS))](),
+                      "start": start, "measure": measure, "ramp": ramp,
+                      "index": index})
+    outs = run_interval_lanes(trace, trace.name, "T", specs,
+                              checkpoint_store=None)
+    for spec, out in zip(specs, outs):
+        assert not isinstance(out, Exception), (spec, out)
+        assert out.as_dict() == _scalar(trace, spec).as_dict(), spec
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    mix_index=st.integers(min_value=0, max_value=len(MIXES) - 1),
+    config_index=st.integers(min_value=0, max_value=len(CONFIGS) - 1),
+    interval=st.sampled_from([500, 750, 1000]),
+)
+def test_equality_at_every_interval_boundary(seed, mix_index, config_index,
+                                             interval):
+    """Consecutive sampling intervals covering the trace: the batched
+    lanes reproduce the scalar SimResult at every boundary."""
+    trace = _trace_for(seed, mix_index)
+    ramp = interval // 4
+    specs = []
+    for index, start in enumerate(range(0, LENGTH, interval)):
+        specs.append({"config": CONFIGS[config_index](), "start": start,
+                      "measure": min(interval, LENGTH - start),
+                      "ramp": min(ramp, start), "index": index})
+    outs = run_interval_lanes(trace, trace.name, "T", specs,
+                              checkpoint_store=None)
+    for spec, out in zip(specs, outs):
+        assert not isinstance(out, Exception), (spec, out)
+        assert out.as_dict() == _scalar(trace, spec).as_dict(), (
+            "diverged at interval boundary %d" % spec["start"])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    mix_index=st.integers(min_value=0, max_value=len(MIXES) - 1),
+    config_index=st.integers(min_value=0, max_value=len(CONFIGS) - 1),
+)
+def test_deadlock_and_early_drain_mid_batch(seed, mix_index, config_index):
+    """One lane outlives the cycle budget while its lanemates drain
+    early; each lane fails or finishes exactly like its scalar oracle."""
+    trace = _trace_for(seed, mix_index)
+    max_cycles = 1500
+    specs = [
+        {"config": CONFIGS[config_index](), "start": 0, "measure": 40,
+         "ramp": 0, "index": 0},
+        {"config": CONFIGS[config_index](), "start": 0, "measure": 2500,
+         "ramp": 0, "index": 1},
+        {"config": CONFIGS[config_index](), "start": 100, "measure": 60,
+         "ramp": 50, "index": 2},
+    ]
+    outs = run_interval_lanes(trace, trace.name, "T", specs,
+                              checkpoint_store=None, max_cycles=max_cycles)
+    for spec, out in zip(specs, outs):
+        try:
+            want = _scalar(trace, spec, max_cycles=max_cycles)
+        except RuntimeError as exc:
+            assert isinstance(out, RuntimeError), (spec, out)
+            # The diagnostic prefix (workload, config, cycle budget, trace
+            # index, ROB head, wheel state) is identical; only the trailer
+            # differs — scalar appends the invariant-net snapshot, batched
+            # lanes a pointer to re-run scalar for it.
+            marker = "likely deadlock)"
+            assert marker in str(out) and marker in str(exc), spec
+            assert (str(out).split(marker)[0]
+                    == str(exc).split(marker)[0]), spec
+        else:
+            assert not isinstance(out, Exception), (spec, out)
+            assert out.as_dict() == want.as_dict(), spec

@@ -266,3 +266,33 @@ class TestEngineKnobs:
     def test_columns_cached_on_trace(self):
         trace = build_workload("spec06_mcf", length=2000)
         assert columns_for(trace) is columns_for(trace)
+
+    def test_columns_cache_bounded_by_trace_budget(self, monkeypatch):
+        """``columns_for`` evicts LRU entries past ``REPRO_TRACE_CACHE``."""
+        from repro.emu import batch
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.suite import profile_for
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "2")
+        monkeypatch.setattr(batch, "_COLUMNS_CACHE", {})
+        traces = [generate_trace(profile_for(name, length=400))
+                  for name in ("spec06_gcc", "spec06_mcf", "tpce")]
+        first = columns_for(traces[0])
+        assert columns_for(traces[0]) is first  # hit
+        columns_for(traces[1])
+        third = columns_for(traces[2])          # evicts traces[0]
+        assert len(batch._COLUMNS_CACHE) == 2
+        assert columns_for(traces[2]) is third  # still resident
+        assert columns_for(traces[0]) is not first  # was evicted, re-decoded
+
+    def test_columns_cache_capacity_zero_disables(self, monkeypatch):
+        from repro.emu import batch
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.suite import profile_for
+
+        monkeypatch.setattr(batch, "_COLUMNS_CACHE", {})
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        trace = generate_trace(profile_for("spec06_gcc", length=400))
+        a = columns_for(trace)
+        assert columns_for(trace) is not a
+        assert not batch._COLUMNS_CACHE
