@@ -49,7 +49,10 @@ DEFAULT_TOLERANCE = 0.25
 #: (json path, human label) for every gated metric.  A metric missing
 #: from the *reference* is skipped (old references predate it); missing
 #: from the *new* record it is a failure (the benchmark stopped
-#: measuring something the gate relies on).
+#: measuring something the gate relies on) — unless the metric's whole
+#: top-level section is in OPTIONAL_SECTIONS and absent from the new
+#: record, which means the benchmark ran a profile that skips that
+#: (expensive) section entirely rather than silently dropping a metric.
 GATED_METRICS = [
     (("serial", "instructions_per_second"), "serial instr/s"),
     (("two_speed", "wallclock_speedup"), "two-speed wall-clock ratio"),
@@ -76,6 +79,13 @@ GATED_METRICS = [
 ]
 
 
+#: Sections a benchmark run may legitimately omit wholesale (e.g. a
+#: quick CI profile that skips the batched-detail sweep).  An absent
+#: section is a clear skip; a *present* section missing one of its gated
+#: metrics is still a failure.
+OPTIONAL_SECTIONS = frozenset(["batch_detail"])
+
+
 def _lookup(record, path):
     node = record
     for key in path:
@@ -95,6 +105,11 @@ def check(reference, new, tolerance):
             continue
         new_value = _lookup(new, path)
         if new_value is None:
+            if path[0] in OPTIONAL_SECTIONS and path[0] not in new:
+                print("skip  %-28s (optional section %r absent from the "
+                      "new record — benchmark profile skipped it)"
+                      % (label, path[0]))
+                continue
             failures.append("%s missing from the new record" % label)
             continue
         floor = ref_value * (1.0 - tolerance)

@@ -10,6 +10,8 @@ Commands:
     cache-stats           report the on-disk result cache's size
     cache-clear           delete every cached simulation result
     checkpoint            manage the warm-state checkpoint store
+    serve                 long-lived shard pool behind a JSON-lines TCP API
+    chaos                 seeded fault-injection campaign, byte-identity bar
 """
 
 import argparse
@@ -25,7 +27,12 @@ from repro.sim.cache import default_cache
 from repro.sim.checkpoint import CheckpointStore, checkpoints_env_disabled
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
 from repro.sim.experiments import suite_speedup
-from repro.sim.parallel import format_failures, run_matrix
+from repro.sim.parallel import (
+    MANIFEST_VERSION,
+    default_shards,
+    format_failures,
+    run_matrix,
+)
 from repro.sim.runner import simulate, simulate_sampled
 from repro.stats.report import format_ipc_ci, format_table
 from repro.workloads.suite import suite_table, workload_names
@@ -172,6 +179,7 @@ def cmd_suite(args):
         retries=args.retries, keep_going=args.keep_going,
         sampling=sampling, batch_warm=getattr(args, "batch_warm", None),
         batch_detail=getattr(args, "batch_detail", None),
+        shards=getattr(args, "shards", None),
     )
     _, per_cat, overall = suite_speedup(feature, base)
     rows = [(cat, "%+.2f%%" % ((v - 1) * 100)) for cat, v in per_cat.items()]
@@ -203,11 +211,20 @@ def cmd_suite(args):
             "feature": {name: feature[name].as_dict()
                         for name in names if name in feature},
             "failures": report.failures,
+            "manifest_version": MANIFEST_VERSION,
         }
         with open(args.out, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote %s" % args.out)
+    if report.drained:
+        # SIGTERM graceful drain: in-flight chunks finished and were
+        # journaled, queued jobs were aborted into the manifest.
+        print("suite: drained after SIGTERM (%d job(s) aborted)"
+              % sum(1 for f in report.failures
+                    if f.get("classification") == "aborted"),
+              file=sys.stderr)
+        return 4
     return 3 if report.jobs_failed else 0
 
 
@@ -265,6 +282,39 @@ def cmd_checkpoint(args):
         print("pruned %d checkpoint%s (LRU) to fit %d bytes"
               % (removed, "" if removed == 1 else "s", args.max_bytes))
     return 0
+
+
+def cmd_serve(args):
+    """Long-lived simulation service over a supervised shard pool."""
+    import asyncio
+
+    from repro.sim.cache import default_cache
+    from repro.sim.scheduler import ShardPool, SweepService
+
+    shards = args.shards or default_shards() or 2
+    pool = ShardPool(shards, job_timeout=args.job_timeout,
+                     retries=args.retries, keep_going=True)
+    pool.start()
+    service = SweepService(pool, default_cache(), length=args.length,
+                           warmup=args.warmup, host=args.host,
+                           port=args.port)
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        pool.shutdown()
+    return 0
+
+
+def cmd_chaos(args):
+    from repro.sim import chaos
+
+    if args.sweep_child:
+        return chaos.run_sweep(args)
+    if args.seed is None:
+        args.seed = chaos.DEFAULT_SEED
+    return chaos.run_campaign(args)
 
 
 def cmd_workloads(_args):
@@ -407,9 +457,67 @@ def build_parser():
                               metavar="N",
                               help="retries for crashed or hung jobs "
                                    "(default REPRO_JOB_RETRIES or 2)")
+    suite_parser.add_argument("--shards", type=int, default=None,
+                              metavar="N",
+                              help="run jobs through N supervised "
+                                   "long-lived shard processes "
+                                   "(heartbeat health checks, quarantine "
+                                   "and respawn) instead of one worker "
+                                   "process per job.  Default: "
+                                   "REPRO_SHARDS, else worker-per-job")
     add_sim_args(suite_parser)
     add_sampling_args(suite_parser)
     suite_parser.set_defaults(func=cmd_suite)
+
+    serve_parser = sub.add_parser(
+        "serve", help="long-lived simulation service (JSON lines over TCP) "
+                      "backed by a supervised shard pool")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8731)
+    serve_parser.add_argument("--shards", type=int, default=None,
+                              help="shard processes (default REPRO_SHARDS "
+                                   "or 2)")
+    serve_parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    serve_parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    serve_parser.add_argument("--job-timeout", type=float, default=None)
+    serve_parser.add_argument("--retries", type=int, default=None)
+    serve_parser.set_defaults(func=cmd_serve)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign over a sharded "
+                      "sweep; asserts byte-identical convergence")
+    chaos_parser.add_argument("--seed", type=int, default=None,
+                              help="campaign seed (default: chaos module's "
+                                   "pinned DEFAULT_SEED)")
+    chaos_parser.add_argument("--dir", default="benchmarks/.chaos",
+                              help="campaign working directory")
+    chaos_parser.add_argument("--fresh", action="store_true",
+                              help="delete the campaign directory first")
+    chaos_parser.add_argument("-n", "--num", type=int, default=8,
+                              help="workloads in the sweep (x 3 configs)")
+    chaos_parser.add_argument("--shards", type=int, default=3)
+    chaos_parser.add_argument("--kills", type=int, default=3,
+                              help="kill_shard launches")
+    chaos_parser.add_argument("--hangs", type=int, default=1,
+                              help="hang_heartbeat launches")
+    chaos_parser.add_argument("--torn", type=int, default=1,
+                              help="torn_write launches")
+    chaos_parser.add_argument("--sigkills", type=int, default=1,
+                              help="mid-commit SIGKILL launches")
+    chaos_parser.add_argument("--length", type=int, default=6000)
+    chaos_parser.add_argument("--warmup", type=int, default=3000)
+    chaos_parser.add_argument("--launch-timeout", type=float, default=300,
+                              metavar="SECONDS",
+                              help="hard deadline per launch; a launch "
+                                   "that neither exits nor dies by then "
+                                   "fails the campaign")
+    chaos_parser.add_argument("--sample", type=int, default=2,
+                              help="interval samples per cell (exercises "
+                                   "the checkpoint store; 0 disables)")
+    chaos_parser.add_argument("--out", default=None, help=argparse.SUPPRESS)
+    chaos_parser.add_argument("--sweep-child", action="store_true",
+                              help=argparse.SUPPRESS)
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     cache_stats_parser = sub.add_parser(
         "cache-stats", help="report the result cache's on-disk size")

@@ -11,10 +11,15 @@ fingerprint, so results written by an older simulator (different
 than silently-wrong answers.  ``repro cache-clear`` removes entries;
 ``repro cache-stats`` reports what is on disk.
 
-Concurrency: writes go through a per-process temporary file followed by an
-atomic ``os.replace``, and a corrupted or partially-written entry is
-treated as a miss and rewritten — safe when several parent processes fill
-the same directory.
+Concurrency and crash safety: every write is a journaled commit
+(:mod:`repro.sim.journal`) — an inter-process file lock serializes
+concurrent fillers of one directory, a fsync'd write-ahead intent record
+precedes the per-process temp file + atomic ``os.replace``, and a commit
+record closes the sequence.  A ``kill -9`` at any instant leaves the entry
+either fully written or cleanly recoverable: the journal is replayed
+automatically the next time any process opens the store, removing orphaned
+temp files and evicting torn finals.  ``REPRO_JOURNAL=0`` falls back to
+the bare tmp+replace discipline.
 
 Integrity: every entry is stored as ``{"checksum": ..., "data": ...}``
 where the checksum hashes the canonical JSON of the payload.  A truncated
@@ -35,6 +40,7 @@ import warnings
 from repro.core.core import event_loop_env_disabled
 from repro.sim import faults
 from repro.sim.defaults import DEFAULT_LENGTH, DEFAULT_WARMUP
+from repro.sim.journal import JournaledDir, journaling_env_disabled
 from repro.sim.runner import (
     SCHEMA_VERSION,
     SimResult,
@@ -87,9 +93,25 @@ class ResultCache(object):
         #: and ``reason``.  Drained by the parallel engine's manifest via
         #: :meth:`pop_evictions`.
         self.eviction_log = []
+        self._journaled = None
 
     def _path(self, key):
         return os.path.join(self.directory, key + ".json")
+
+    def _journal(self):
+        """The directory's :class:`JournaledDir`, or None when disabled."""
+        if journaling_env_disabled():
+            return None
+        if self._journaled is None:
+            self._journaled = JournaledDir(self.directory, self.checksum)
+        return self._journaled
+
+    def _recover(self):
+        """Replay an interrupted commit; free (one stat) when at rest."""
+        journaled = self._journal()
+        if journaled is None:
+            return
+        self.eviction_log.extend(journaled.recover())
 
     def key(self, workload, config, length, warmup):
         return "%s-%d-%d-%s" % (workload, length, warmup, config_fingerprint(config))
@@ -102,6 +124,7 @@ class ResultCache(object):
 
     def get(self, key):
         path = self._path(key)
+        self._recover()
         # Deterministic fault injection (REPRO_FAULT=corrupt_cache:key=...):
         # no-op — a single env lookup — unless faults are requested.
         faults.corrupt_cache_file(key, path)
@@ -154,8 +177,16 @@ class ResultCache(object):
         path = self._path(key)
         data = result.as_dict()
         envelope = {"checksum": self.checksum(data), "data": data}
-        # Per-process temp name so concurrent fillers never clobber each
-        # other's in-progress write; os.replace is atomic on POSIX.
+        journaled = self._journal()
+        if journaled is not None:
+            self._recover()
+            # Locked, journaled commit: intent record, fsync'd payload via
+            # atomic os.replace, commit record (see repro.sim.journal).
+            journaled.commit(key, path, envelope)
+            return
+        # REPRO_JOURNAL=0 fallback: per-process temp name so concurrent
+        # fillers never clobber each other's in-progress write; os.replace
+        # is atomic on POSIX.
         tmp = "%s.%d.tmp" % (path, os.getpid())
         with open(tmp, "w") as handle:
             json.dump(envelope, handle)
@@ -175,6 +206,7 @@ class ResultCache(object):
 
     def stats(self):
         """On-disk entry count/bytes plus this process's hit/miss counters."""
+        self._recover()
         paths = self.entry_paths()
         total_bytes = 0
         for path in paths:

@@ -38,6 +38,7 @@ import warnings
 
 from repro.emu.warmup import FunctionalWarmer
 from repro.sim import faults
+from repro.sim.journal import JournaledDir, journaling_env_disabled
 from repro.sim.runner import SCHEMA_VERSION
 
 #: On-disk checkpoint format version.  Mixed into every fingerprint so a
@@ -328,8 +329,11 @@ class CheckpointStore(object):
 
     Mirrors :class:`~repro.sim.cache.ResultCache`: entries are
     ``{"checksum", "data"}`` envelopes, corruption is classified and
-    evicted with a warning (the workload is then re-warmed), and writes go
-    through an atomic per-process temp file.
+    evicted with a warning (the workload is then re-warmed), and every
+    write is a locked, journaled commit (:mod:`repro.sim.journal`) —
+    crash-safe against ``kill -9`` mid-commit and serialized against
+    concurrent sweeps filling the same directory.  ``REPRO_JOURNAL=0``
+    falls back to the bare per-process tmp + atomic rename discipline.
     """
 
     def __init__(self, directory=None):
@@ -346,9 +350,25 @@ class CheckpointStore(object):
         #: Corruption incidents seen by this process (dicts with ``key``
         #: and ``reason``), drained via :meth:`pop_evictions`.
         self.eviction_log = []
+        self._journaled = None
 
     def _path(self, key):
         return os.path.join(self.directory, key + ".ckpt.json")
+
+    def _journal(self):
+        """The directory's :class:`JournaledDir`, or None when disabled."""
+        if journaling_env_disabled():
+            return None
+        if self._journaled is None:
+            self._journaled = JournaledDir(self.directory, self.checksum)
+        return self._journaled
+
+    def _recover(self):
+        """Replay an interrupted commit; free (one stat) when at rest."""
+        journaled = self._journal()
+        if journaled is None:
+            return
+        self.eviction_log.extend(journaled.recover())
 
     def key(self, workload, config, length, functional):
         return "%s-%d-%d-%s" % (
@@ -363,6 +383,7 @@ class CheckpointStore(object):
 
     def contains(self, key):
         """Presence probe without reading/validating the entry."""
+        self._recover()
         return os.path.exists(self._path(key))
 
     def _read_envelope(self, path):
@@ -389,6 +410,7 @@ class CheckpointStore(object):
     def get(self, key):
         """Return the checkpoint state dict for ``key``, or None."""
         path = self._path(key)
+        self._recover()
         # Deterministic fault injection (REPRO_FAULT=corrupt_checkpoint:...)
         faults.corrupt_checkpoint_file(key, path)
         if not os.path.exists(path):
@@ -429,6 +451,12 @@ class CheckpointStore(object):
         os.makedirs(self.directory, exist_ok=True)
         path = self._path(key)
         envelope = {"checksum": self.checksum(state), "data": state}
+        journaled = self._journal()
+        if journaled is not None:
+            self._recover()
+            # Locked, journaled commit (see repro.sim.journal).
+            journaled.commit(key, path, envelope)
+            return
         tmp = "%s.%d.tmp" % (path, os.getpid())
         with open(tmp, "w") as handle:
             json.dump(envelope, handle)
@@ -452,8 +480,11 @@ class CheckpointStore(object):
         Every entry is checksum-validated first and corrupt ones are
         evicted, so ``entries``/``bytes`` are *post-eviction* totals: an
         entry evicted during this call appears in ``corrupt_evicted`` (and
-        the eviction log) but never also in ``entries``.
+        the eviction log) but never also in ``entries``.  An interrupted
+        journaled commit is replayed first, so a mid-commit ``kill -9``
+        never shows up here as corruption — replay already resolved it.
         """
+        self._recover()
         total_bytes = 0
         surviving = 0
         corrupt = 0

@@ -21,10 +21,33 @@ variable — a comma-separated list of specs, each ``kind:param=value:...``:
   probability ``p``, chosen by a deterministic per-(seed, job, attempt)
   stream so a given spec always injects the same faults.
 
+Shard-pool flavours (:mod:`repro.sim.scheduler`):
+
+- ``kill_shard:shard=N:after=C`` — shard ``N`` hard-exits when it receives
+  its ``C+1``-th job, so the supervisor must requeue the in-flight job and
+  respawn the shard.  The ``attempts=K`` bound counts shard *incarnations*
+  here: the default ``attempts=1`` kills only the first incarnation, so
+  the respawned shard survives.
+- ``hang_heartbeat:shard=N:seconds=S:after=C`` — shard ``N`` stops
+  heartbeating (and working) for ``S`` seconds starting at its ``C+1``-th
+  job, so the supervisor's heartbeat-miss quarantine must fire.
+
+Store-commit flavours (:mod:`repro.sim.journal`):
+
+- ``torn_write:key=K`` — the next journaled commit whose key contains the
+  substring writes a half-truncated final file and *no* commit record
+  (modelling a crash between payload and rename), so journal replay must
+  evict it.  Fires once per matching spec per process.
+- ``kill_commit:key=K:at=intent|payload|replace`` — SIGKILL the process at
+  the named stage inside the commit sequence (after the intent record,
+  after the payload fsync, or after the atomic rename but before the
+  commit record), so recovery after a mid-commit death is provable.
+
 Any spec may add ``attempts=K`` to fire only on the first ``K`` attempts
-of a job — the standard way to test that a retry then *succeeds*.  The
-``corrupt_cache`` flavour accepts ``how=truncate|flip`` (truncated file vs
-a well-formed envelope whose payload no longer matches its checksum).
+of a job (incarnations of a shard, matches of a commit key) — the
+standard way to test that a retry then *succeeds*.  The ``corrupt_cache``
+flavour accepts ``how=truncate|flip`` (truncated file vs a well-formed
+envelope whose payload no longer matches its checksum).
 
 Everything is off (and zero-cost: one env lookup) unless ``REPRO_FAULT``
 is set.
@@ -33,9 +56,19 @@ is set.
 import json
 import os
 import random
+import signal
 import time
 
-_VALID_KINDS = ("crash", "hang", "corrupt_cache", "corrupt_checkpoint", "rand")
+_VALID_KINDS = ("crash", "hang", "corrupt_cache", "corrupt_checkpoint",
+                "rand", "kill_shard", "hang_heartbeat", "torn_write",
+                "kill_commit")
+
+#: Kinds that never fire from fire_worker_faults (they have their own
+#: call sites in the journal and the shard scheduler).
+_NON_WORKER_KINDS = frozenset((
+    "corrupt_cache", "corrupt_checkpoint",
+    "kill_shard", "hang_heartbeat", "torn_write", "kill_commit",
+))
 
 
 class InjectedFault(RuntimeError):
@@ -131,7 +164,7 @@ def fire_worker_faults(job_index, attempt, in_child, environ=None):
         return
     for spec in active_faults(environ):
         kind = spec.kind
-        if kind in ("corrupt_cache", "corrupt_checkpoint"):
+        if kind in _NON_WORKER_KINDS:
             continue
         if kind == "rand":
             if not spec.attempt_allowed(attempt):
@@ -218,3 +251,101 @@ def corrupt_checkpoint_file(key, path, environ=None):
     fault; runs immediately before a checkpoint read."""
     return _corrupt_envelope_file("corrupt_checkpoint", "functional", key,
                                   path, environ)
+
+
+# ---------------------------------------------------------------------------
+# shard-pool flavours (consumed by repro.sim.scheduler inside shard children)
+
+
+def shard_kill_after(shard_id, incarnation, environ=None):
+    """Jobs shard ``shard_id`` may finish before a ``kill_shard`` fault
+    hard-exits it, or None when no such fault targets this incarnation.
+
+    ``attempts=K`` bounds the shard's *incarnation* (1-based), defaulting
+    to 1 so the supervisor's respawn is what recovers the sweep.
+    """
+    environ = environ if environ is not None else os.environ
+    if not environ.get("REPRO_FAULT"):
+        return None
+    for spec in active_faults(environ):
+        if spec.kind != "kill_shard":
+            continue
+        target = spec.params.get("shard")
+        if target is None or int(target) != shard_id:
+            continue
+        limit = int(spec.params.get("attempts", "1"))
+        if incarnation > limit:
+            continue
+        return int(spec.params.get("after", "1"))
+    return None
+
+
+def shard_heartbeat_hang(shard_id, incarnation, environ=None):
+    """``(after, seconds)`` for a ``hang_heartbeat`` fault aimed at this
+    shard incarnation, or None.  The shard wedges (no heartbeats, no
+    progress) for ``seconds`` once it has finished ``after`` jobs."""
+    environ = environ if environ is not None else os.environ
+    if not environ.get("REPRO_FAULT"):
+        return None
+    for spec in active_faults(environ):
+        if spec.kind != "hang_heartbeat":
+            continue
+        target = spec.params.get("shard")
+        if target is None or int(target) != shard_id:
+            continue
+        limit = int(spec.params.get("attempts", "1"))
+        if incarnation > limit:
+            continue
+        return (int(spec.params.get("after", "1")),
+                float(spec.params.get("seconds", "30")))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# store-commit flavours (consumed by repro.sim.journal inside commits)
+
+_torn_fired = {}  # needle -> times fired in this process
+
+
+def torn_write_requested(key, environ=None):
+    """True when a ``torn_write`` fault targets this commit's ``key``.
+
+    Each matching spec fires ``attempts`` times (default 1) per process,
+    so the eventual re-commit of the same key lands intact.
+    """
+    environ = environ if environ is not None else os.environ
+    if not environ.get("REPRO_FAULT"):
+        return False
+    for spec in active_faults(environ):
+        if spec.kind != "torn_write":
+            continue
+        needle = spec.params.get("key", "")
+        if needle not in key:
+            continue
+        limit = int(spec.params.get("attempts", "1"))
+        if _torn_fired.get(needle, 0) >= limit:
+            continue
+        _torn_fired[needle] = _torn_fired.get(needle, 0) + 1
+        return True
+    return False
+
+
+def fire_commit_faults(key, stage, environ=None):
+    """SIGKILL the process when a ``kill_commit`` fault targets this
+    commit ``key`` at this ``stage`` (``intent``/``payload``/``replace``).
+
+    A real SIGKILL — no atexit, no finally blocks — so the journal replay
+    exercised afterwards is recovering from a genuine mid-commit death.
+    """
+    environ = environ if environ is not None else os.environ
+    if not environ.get("REPRO_FAULT"):
+        return
+    for spec in active_faults(environ):
+        if spec.kind != "kill_commit":
+            continue
+        needle = spec.params.get("key", "")
+        if needle not in key:
+            continue
+        if spec.params.get("at", "replace") != stage:
+            continue
+        os.kill(os.getpid(), signal.SIGKILL)

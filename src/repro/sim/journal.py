@@ -1,0 +1,415 @@
+"""Crash-safe commits for the on-disk stores: write-ahead journal + lock.
+
+The result cache and the checkpoint store both follow the same commit
+discipline — write a checksummed ``{"checksum", "data"}`` envelope to a
+per-process temp file, then ``os.replace`` it into place.  That is atomic
+against *readers*, but a ``kill -9`` mid-commit can still strand temp
+files, and two unrelated ``repro suite`` processes filling one directory
+interleave commits with no coordination at all.  This module closes both
+gaps:
+
+- :class:`FileLock` — an inter-process mutex built from an ``O_EXCL``
+  lockfile containing the holder's PID.  A lockfile whose PID is no longer
+  alive (the holder was SIGKILLed mid-commit) is taken over; a live holder
+  makes the second process wait, so concurrent sweeps over one cache
+  directory serialize their commits instead of interleaving them.
+- :class:`Journal` — a JSONL write-ahead log.  Every commit appends a
+  fsync'd *intent* record (key, final filename, temp filename, payload
+  checksum) before the payload is written, and a *commit* record after the
+  atomic ``os.replace``; the journal is then truncated (the WAL
+  checkpoint).  A crash at any instant leaves at most one dangling intent,
+  and :meth:`Journal.replay` — run automatically the first time a store
+  touches its directory — restores the invariant: orphaned temp files are
+  removed, a torn final file is evicted, and a final file that is still a
+  valid self-consistent envelope is **kept** (it is either the completed
+  new version or the untouched old one; both are correct, and deleting the
+  old version on an early crash would turn a non-loss into a loss).
+- :class:`JournaledDir` — the bundle of both, exposing the
+  :meth:`~JournaledDir.commit` sequence the stores call:
+  ``lock -> intent -> payload (fsync) -> os.replace -> commit -> truncate``.
+
+Fault hooks (:mod:`repro.sim.faults`): ``kill_commit:key=K:at=STAGE``
+SIGKILLs the process at a chosen point inside the commit sequence and
+``torn_write:key=K`` leaves a deliberately truncated final file with no
+commit record — both exist so CI can prove the recovery path, not assume
+it.
+
+Knobs: ``REPRO_JOURNAL=0`` disables journaling and locking (plain
+tmp+replace, the pre-journal behaviour); ``REPRO_FSYNC=0`` skips fsyncs
+(benchmarking on throwaway dirs); ``REPRO_LOCK_TIMEOUT`` bounds how long a
+commit waits for the directory lock (seconds, default 30).
+"""
+
+import errno
+import json
+import os
+import time
+
+from repro.sim import faults
+
+
+def journaling_env_disabled(environ=None):
+    """True when ``REPRO_JOURNAL`` explicitly disables journaled commits."""
+    environ = environ if environ is not None else os.environ
+    return environ.get("REPRO_JOURNAL", "") in ("0", "off", "false")
+
+
+def fsync_env_disabled(environ=None):
+    """True when ``REPRO_FSYNC`` explicitly disables commit fsyncs."""
+    environ = environ if environ is not None else os.environ
+    return environ.get("REPRO_FSYNC", "") in ("0", "off", "false")
+
+
+def lock_timeout_default(environ=None):
+    """Seconds a commit waits for the directory lock (REPRO_LOCK_TIMEOUT)."""
+    environ = environ if environ is not None else os.environ
+    value = environ.get("REPRO_LOCK_TIMEOUT")
+    if value:
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            pass
+    return 30.0
+
+
+class LockTimeout(RuntimeError):
+    """A :class:`FileLock` could not be acquired within its timeout."""
+
+
+def _pid_alive(pid):
+    """Best-effort liveness probe: is any process with ``pid`` running?"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # unknown: assume alive rather than steal a live lock
+    return True
+
+
+class FileLock(object):
+    """Inter-process mutex: ``O_EXCL`` lockfile + stale-PID takeover.
+
+    The lockfile holds the owner's PID.  Acquisition loops on
+    ``O_CREAT | O_EXCL`` (atomic on POSIX); on contention the PID inside
+    the existing file is probed with ``os.kill(pid, 0)`` — a dead owner
+    (e.g. SIGKILLed mid-commit) has its lockfile removed and the loop
+    retries immediately, a live owner makes us poll until ``timeout``.
+
+    The takeover unlink is best-effort: two waiters that both judge the
+    same lockfile stale can race, and the loser may briefly co-hold.  The
+    journal's replay-by-validation makes that window harmless (a torn
+    write is detected by checksum, never trusted), which is why the
+    classic unlink race is acceptable here.
+    """
+
+    def __init__(self, path, timeout=None, poll_interval=0.01):
+        self.path = path
+        self.timeout = timeout if timeout is not None else lock_timeout_default()
+        self.poll_interval = poll_interval
+        self._held = False
+
+    def acquire(self):
+        deadline = time.monotonic() + self.timeout
+        payload = ("%d\n" % os.getpid()).encode("ascii")
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                if self._takeover_if_stale():
+                    continue
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        "could not acquire %s within %.1fs (held by %s)"
+                        % (self.path, self.timeout, self._owner_repr())
+                    )
+                time.sleep(self.poll_interval)
+                continue
+            except OSError as exc:
+                if exc.errno == errno.ENOENT:
+                    # Directory vanished mid-acquire (concurrent clear).
+                    os.makedirs(os.path.dirname(self.path) or ".",
+                                exist_ok=True)
+                    continue
+                raise
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            self._held = True
+            return self
+
+    def _read_owner(self):
+        try:
+            with open(self.path) as handle:
+                return int(handle.read().strip() or "0")
+        except (OSError, ValueError):
+            return None
+
+    def _owner_repr(self):
+        owner = self._read_owner()
+        return "pid %d" % owner if owner else "unknown pid"
+
+    def _takeover_if_stale(self):
+        """Remove the lockfile if its owner is provably dead.  Returns True
+        when the caller should retry acquisition immediately."""
+        owner = self._read_owner()
+        if owner is None:
+            # Unreadable or not-yet-written: the creator may be between
+            # open and write.  Only steal once the file has clearly been
+            # abandoned for a while.
+            try:
+                age = time.time() - os.path.getmtime(self.path)
+            except OSError:
+                return True  # gone already: retry
+            if age < 30.0:
+                return False
+        elif _pid_alive(owner):
+            return False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass  # someone else took it over first
+        return True
+
+    def release(self):
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *_exc_info):
+        self.release()
+        return False
+
+
+def _fsync_file(handle):
+    if fsync_env_disabled():
+        return
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def validate_envelope(path, checksum):
+    """Classify the file at ``path`` as a checksummed envelope.
+
+    Returns None when the file is a fully-written, self-consistent
+    ``{"checksum", "data"}`` envelope, else a human-readable reason —
+    the same classifications the stores use on read.
+    """
+    try:
+        with open(path) as handle:
+            envelope = json.load(handle)
+    except (OSError, ValueError):
+        return "unreadable (truncated or malformed JSON)"
+    if (
+        not isinstance(envelope, dict)
+        or "checksum" not in envelope
+        or not isinstance(envelope.get("data"), dict)
+    ):
+        return "not a checksummed envelope"
+    if checksum(envelope["data"]) != envelope["checksum"]:
+        return "checksum mismatch (payload altered on disk)"
+    return None
+
+
+class Journal(object):
+    """JSONL write-ahead log for one store directory.
+
+    At rest the journal is empty (every commit truncates it after its
+    commit record), so the recovery scan — a single ``os.path.getsize`` —
+    is free on the hot path.  A non-empty journal means a commit was
+    interrupted; :meth:`replay` then re-establishes the store invariant.
+    """
+
+    FILENAME = "journal.wal"
+
+    def __init__(self, directory):
+        self.directory = directory
+        self.path = os.path.join(directory, self.FILENAME)
+        self._counter = 0
+
+    def _append(self, record, fsync):
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if fsync:
+                _fsync_file(handle)
+
+    def begin(self, key, final_name, tmp_name, checksum):
+        """Durably record the intent to replace ``final_name``; returns the
+        sequence id the matching :meth:`commit` must quote."""
+        self._counter += 1
+        seq = "%d.%d" % (os.getpid(), self._counter)
+        self._append({"op": "intent", "seq": seq, "key": key,
+                      "file": final_name, "tmp": tmp_name,
+                      "checksum": checksum}, fsync=True)
+        return seq
+
+    def commit(self, seq):
+        """Record completion of ``seq`` and checkpoint (truncate) the log."""
+        self._append({"op": "commit", "seq": seq}, fsync=False)
+        with open(self.path, "r+") as handle:
+            handle.truncate(0)
+
+    def needs_replay(self):
+        """Cheap at-rest probe: True only when a commit was interrupted."""
+        try:
+            return os.path.getsize(self.path) > 0
+        except OSError:
+            return False
+
+    def _parse(self):
+        """Journal records plus a flag for a torn (partial) trailing line."""
+        records = []
+        torn_tail = False
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return records, torn_tail
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A crash mid-append leaves a partial last line; anything
+                # unparsable is treated the same way (never trusted).
+                torn_tail = True
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records, torn_tail
+
+    def replay(self, checksum):
+        """Roll the directory forward to a clean state.
+
+        For every intent with no commit record: the orphaned temp file is
+        removed, and the final file is kept only if it is a valid
+        self-consistent envelope (either the completed new version or the
+        untouched old one — indistinguishable, and both correct); a torn
+        final file is evicted.  Returns a summary dict, or None when the
+        journal was already empty.
+        """
+        if not self.needs_replay():
+            return None
+        summary = {"pending": 0, "committed": 0, "removed_tmp": 0,
+                   "kept": 0, "evicted": [], "torn_tail": False}
+        records, summary["torn_tail"] = self._parse()
+        committed = {r.get("seq") for r in records if r.get("op") == "commit"}
+        for record in records:
+            if record.get("op") != "intent":
+                continue
+            if record.get("seq") in committed:
+                summary["committed"] += 1
+                continue
+            summary["pending"] += 1
+            tmp_name = record.get("tmp")
+            if tmp_name:
+                tmp = os.path.join(self.directory, tmp_name)
+                if os.path.exists(tmp):
+                    try:
+                        os.remove(tmp)
+                        summary["removed_tmp"] += 1
+                    except OSError:
+                        pass
+            final_name = record.get("file")
+            if not final_name:
+                continue
+            final = os.path.join(self.directory, final_name)
+            if not os.path.exists(final):
+                continue
+            reason = validate_envelope(final, checksum)
+            if reason is None:
+                summary["kept"] += 1
+                continue
+            try:
+                os.remove(final)
+            except OSError:
+                pass
+            summary["evicted"].append(
+                {"key": record.get("key", final_name), "reason": reason}
+            )
+        try:
+            with open(self.path, "r+") as handle:
+                handle.truncate(0)
+        except OSError:
+            pass
+        return summary
+
+
+class JournaledDir(object):
+    """Lock + journal for one store directory; owns the commit sequence.
+
+    ``checksum`` is the store's canonical payload hash (both stores use
+    canonical-JSON sha256), reused to validate final files during replay.
+    """
+
+    LOCK_FILENAME = ".lock"
+
+    def __init__(self, directory, checksum):
+        self.directory = directory
+        self.checksum = checksum
+        self.journal = Journal(directory)
+        self.lock = FileLock(os.path.join(directory, self.LOCK_FILENAME))
+        #: Most recent non-trivial :meth:`recover` summary (diagnostics).
+        self.last_replay = None
+
+    def recover(self):
+        """Replay an interrupted commit, if any.  Cheap (one stat) when the
+        journal is at rest; evictions are returned as ``{"key", "reason"}``
+        dicts for the store's eviction log."""
+        if not self.journal.needs_replay():
+            return []
+        with self.lock:
+            summary = self.journal.replay(self.checksum)
+        if summary is None:
+            return []
+        self.last_replay = summary
+        return summary["evicted"]
+
+    def commit(self, key, path, envelope):
+        """The full journaled commit sequence for one envelope.
+
+        lock -> intent (fsync) -> temp payload (fsync) -> ``os.replace``
+        -> commit record -> journal truncate.  The ``kill_commit`` /
+        ``torn_write`` fault hooks between the stages are no-ops (one env
+        lookup) unless ``REPRO_FAULT`` requests them.
+        """
+        tmp = "%s.%d.tmp" % (path, os.getpid())
+        with self.lock:
+            seq = self.journal.begin(key, os.path.basename(path),
+                                     os.path.basename(tmp),
+                                     envelope["checksum"])
+            faults.fire_commit_faults(key, "intent")
+            with open(tmp, "w") as handle:
+                json.dump(envelope, handle)
+                _fsync_file(handle)
+            faults.fire_commit_faults(key, "payload")
+            if faults.torn_write_requested(key):
+                # Simulate a crash that left a half-written final file and
+                # no commit record: replay must evict it.
+                with open(tmp, "rb") as handle:
+                    blob = handle.read()
+                with open(path, "wb") as handle:
+                    handle.write(blob[: max(1, len(blob) // 2)])
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                return
+            os.replace(tmp, path)
+            faults.fire_commit_faults(key, "replace")
+            self.journal.commit(seq)

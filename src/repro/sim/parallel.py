@@ -34,8 +34,19 @@ Resilience (one worker process per job, supervised by the parent):
   terminated, and ``KeyboardInterrupt`` is re-raised *after* the orderly
   shutdown — every completed job is already committed to the cache, so a
   re-run (``repro suite --resume``) simulates only the remainder.
+- **SIGTERM graceful drain**: a service manager's stop signal finishes
+  the in-flight chunks (bounded by ``REPRO_DRAIN_TIMEOUT`` seconds,
+  default 30), journals their results to the cache, records every
+  not-started or timed-out job as ``aborted`` in the manifest, and
+  returns normally with ``report.drained`` set — the CLI maps that to
+  exit code 4.
 - **Fault injection**: :mod:`repro.sim.faults` (``REPRO_FAULT``) drives
   every one of these paths deterministically in CI.
+
+``shards=N`` (or ``REPRO_SHARDS``) swaps the worker-per-job fan-out for
+the supervised long-lived shard pool in :mod:`repro.sim.scheduler`
+(heartbeat health checks, quarantine, crash-loop backoff); results are
+byte-identical between the two engines.
 
 The worker entry point is a module-level function and every job payload is
 picklable, so the engine is safe under the ``spawn`` start method (macOS /
@@ -95,9 +106,18 @@ CLASS_DEADLOCK = "deadlock"        # the core's own deadlock detector fired
 CLASS_CORRUPT_CACHE = "corrupt_cache"  # checksum eviction forced a re-run
 CLASS_CORRUPT_CHECKPOINT = "corrupt_checkpoint"  # warm state re-derived
 CLASS_ERROR = "error"              # deterministic Python exception
+CLASS_ABORTED = "aborted"          # graceful drain stopped it (not a failure)
 
 #: Only failures that a fresh worker might not reproduce are retried.
 RETRYABLE = frozenset((CLASS_CRASH, CLASS_TIMEOUT))
+
+#: Failure-manifest schema version, carried as ``manifest_version`` in
+#: ``TimingReport.as_dict()`` and in every ``--out`` payload so archived
+#: manifests are self-describing.  v1: the implicit pre-versioned schema
+#: (crash/timeout/deadlock/corrupt_*/error records).  v2: adds the field
+#: itself, the ``aborted`` classification (SIGTERM drain), and the
+#: report's ``drained`` flag.
+MANIFEST_VERSION = 2
 
 
 class WorkerError(RuntimeError):
@@ -159,6 +179,26 @@ def retry_backoff_base():
     return 0.5
 
 
+def default_shards():
+    """Shard-pool width: ``REPRO_SHARDS``, or None (worker-per-job)."""
+    env = os.environ.get("REPRO_SHARDS")
+    if env:
+        return max(1, int(env))
+    return None
+
+
+def drain_timeout_default():
+    """Seconds a SIGTERM drain waits for in-flight jobs
+    (``REPRO_DRAIN_TIMEOUT``, default 30; 0 aborts immediately)."""
+    env = os.environ.get("REPRO_DRAIN_TIMEOUT")
+    if env:
+        try:
+            return max(0.0, float(env))
+        except ValueError:
+            pass
+    return 30.0
+
+
 def resolve_job_timeout(job_timeout, length):
     """Watchdog deadline in seconds for one job, or None (disabled).
 
@@ -214,11 +254,13 @@ class TimingReport(object):
         "instructions_simulated",
         "jobs_failed",
         "failures",
+        "drained",
     )
 
     def __init__(self, wall_seconds, jobs_total, jobs_simulated,
                  jobs_deduplicated, cache_hits, workers,
-                 instructions_simulated, jobs_failed=0, failures=None):
+                 instructions_simulated, jobs_failed=0, failures=None,
+                 drained=False):
         self.wall_seconds = wall_seconds
         self.jobs_total = jobs_total
         self.jobs_simulated = jobs_simulated
@@ -232,6 +274,10 @@ class TimingReport(object):
         #: recovered ones (successful retries, corrupt-cache evictions),
         #: the latter flagged ``recovered=True``.
         self.failures = failures if failures is not None else []
+        #: True when a SIGTERM drain cut the run short: in-flight chunks
+        #: finished and were journaled, the rest is ``aborted`` in the
+        #: manifest, and the CLI exits 4.
+        self.drained = drained
 
     @property
     def instructions_per_second(self):
@@ -242,6 +288,7 @@ class TimingReport(object):
     def as_dict(self):
         data = {name: getattr(self, name) for name in self.__slots__}
         data["instructions_per_second"] = self.instructions_per_second
+        data["manifest_version"] = MANIFEST_VERSION
         return data
 
     def format(self):
@@ -261,6 +308,11 @@ class TimingReport(object):
             lines.append(
                 "  %d job%s failed terminally (see the failure manifest)"
                 % (self.jobs_failed, "" if self.jobs_failed == 1 else "s")
+            )
+        if self.drained:
+            lines.append(
+                "  run drained on SIGTERM: in-flight chunks finished and "
+                "committed, the rest is marked aborted in the manifest"
             )
         return "\n".join(lines)
 
@@ -390,34 +442,47 @@ class _PendingJob(object):
         return self.job[1].name
 
 
-class _SigintGuard(object):
-    """Turn SIGINT into a flag so run_jobs can shut workers down first.
+class _SignalGuard(object):
+    """Turn SIGINT/SIGTERM into flags so run_jobs controls the shutdown.
 
-    Only installs a handler in the main thread of the main interpreter
-    (``signal.signal`` raises ValueError elsewhere); otherwise the flag
-    simply never trips and Python's default behaviour applies.
+    SIGINT (``triggered``) means abort now: active workers are terminated
+    and ``KeyboardInterrupt`` re-raised after the orderly shutdown.
+    SIGTERM (``draining``) means graceful drain: stop launching, let
+    in-flight chunks finish (bounded by ``REPRO_DRAIN_TIMEOUT``), commit
+    their results, mark the rest ``aborted``, and return normally.
+
+    Only installs handlers in the main thread of the main interpreter
+    (``signal.signal`` raises ValueError elsewhere); otherwise the flags
+    simply never trip and Python's default behaviour applies.
     """
 
-    def __init__(self):
+    def __init__(self, sigint=True):
         self.triggered = False
-        self._previous = None
-        self._installed = False
+        self.draining = False
+        self._sigint = sigint
+        self._previous = {}
 
     def __enter__(self):
         if threading.current_thread() is threading.main_thread():
             try:
-                self._previous = signal.signal(signal.SIGINT, self._handle)
-                self._installed = True
+                if self._sigint:
+                    self._previous[signal.SIGINT] = signal.signal(
+                        signal.SIGINT, self._handle_int)
+                self._previous[signal.SIGTERM] = signal.signal(
+                    signal.SIGTERM, self._handle_term)
             except ValueError:
                 pass
         return self
 
-    def _handle(self, _signum, _frame):
+    def _handle_int(self, _signum, _frame):
         self.triggered = True
 
+    def _handle_term(self, _signum, _frame):
+        self.draining = True
+
     def __exit__(self, *_exc_info):
-        if self._installed:
-            signal.signal(signal.SIGINT, self._previous)
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
         return False
 
 
@@ -435,7 +500,7 @@ def _stop_worker(process):
 
 def run_jobs(jobs, cache=None, max_workers=None, progress=None,
              job_timeout=None, retries=None, keep_going=False,
-             batch_warm=None, batch_detail=None):
+             batch_warm=None, batch_detail=None, shards=None):
     """Run (workload, config, length, warmup) jobs through the cache and a
     supervised worker-per-job engine.
 
@@ -474,6 +539,11 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
             scalar worker path.  Jobs the batched core cannot model (VP
             configs, whole-trace runs) fall through to the worker
             fan-out unchanged.  ``None`` defers to ``REPRO_BATCH_DETAIL``.
+        shards: run cache misses through ``shards`` long-lived shard
+            processes (:class:`repro.sim.scheduler.ShardPool` — heartbeat
+            health checks, quarantine, crash-loop backoff) instead of one
+            worker process per job.  Byte-identical results.  ``None``
+            defers to ``REPRO_SHARDS`` (unset = worker-per-job).
 
     Returns:
         ``(results, report)`` — ``results`` is a list of
@@ -491,6 +561,8 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
         batch_warm = batch_warm_env_enabled()
     if batch_detail is None:
         batch_detail = batch_detail_env_enabled()
+    if shards is None:
+        shards = default_shards()
     backoff = retry_backoff_base()
     if progress is None and _env_progress_enabled():
         progress = _stderr_progress
@@ -768,7 +840,28 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
             progress(done, total, pj.workload_name, pj.config_name,
                      0.0, "fail")
 
+    def _record_aborted(pj, detail):
+        """A SIGTERM drain stopped this job before it could finish."""
+        nonlocal done
+        failures.append({
+            "workload": pj.workload_name,
+            "config": pj.config_name,
+            "job_index": pj.index,
+            "classification": CLASS_ABORTED,
+            "attempts": pj.tries,
+            "recovered": False,
+            "detail": detail,
+            "root_cause": None,
+        })
+        by_key[pj.key] = None
+        done += 1
+        if progress:
+            progress(done, total, pj.workload_name, pj.config_name,
+                     0.0, "fail")
+
     workers = max(1, min(max_workers, len(miss_jobs)))
+    if shards is not None and miss_jobs:
+        workers = max(1, min(shards, len(miss_jobs)))
     if workers > 1 and start_method() == "fork":
         # Trace reuse across configs: a matrix run names each workload once
         # per config, but the trace depends only on (workload, length).
@@ -795,6 +888,7 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
                 # the (workload, config) that died.
                 pass
     fatal = None
+    drained = False
     try:
         # Parent-side batched detailed lanes: one lockstep engine call per
         # trace group.  Lane failures are deterministic (the scalar core
@@ -835,36 +929,73 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
                     raise WorkerError(pj.workload_name, pj.config_name,
                                       detail, root_cause=pj.last_root)
                 _record_success(pj, out.data, seconds)
-        if workers == 1:
+        if shards is not None and miss_jobs:
+            # Shard-pool path: long-lived supervised shard processes with
+            # heartbeat health checks (see repro.sim.scheduler).  Imported
+            # lazily — the scheduler imports this module's worker protocol.
+            from repro.sim.scheduler import ShardPool
+
+            def _on_retry(pj):
+                if progress:
+                    progress(done, total, pj.workload_name, pj.config_name,
+                             0.0, "retry")
+
+            pool = ShardPool(workers, job_timeout=job_timeout,
+                             retries=retries, keep_going=keep_going)
+            with _SignalGuard() as guard:
+                pool.execute(miss_jobs, guard=guard,
+                             on_success=_record_success,
+                             on_terminal=_record_terminal,
+                             on_aborted=_record_aborted,
+                             on_retry=_on_retry)
+                drained = guard.draining
+                if guard.triggered:
+                    raise KeyboardInterrupt
+        elif workers == 1:
             # In-process path: no supervisor, identical results.  Crashes
             # injected here raise InjectedCrash (never os._exit) and are
             # retried in place; there is no watchdog — a hang would hang
-            # the caller, which is exactly the serial contract.
-            for pj in miss_jobs:
-                while True:
-                    item = (pj.key, pj.job, pj.trace_path,
-                            pj.index, pj.tries + 1, False)
-                    try:
-                        _key, data, seconds = _run_job(item)
-                    except WorkerError as err:
-                        pj.tries += 1
-                        pj.last_class = classify_failure(err.detail,
-                                                         err.root_cause)
-                        pj.last_detail = err.detail
-                        pj.last_root = err.root_cause
-                        if pj.last_class in RETRYABLE and pj.tries <= retries:
-                            if progress:
-                                progress(done, total, pj.workload_name,
-                                         pj.config_name, 0.0, "retry")
-                            time.sleep(backoff * (2 ** (pj.tries - 1)))
-                            continue
-                        if keep_going:
-                            _record_terminal(pj)
+            # the caller, which is exactly the serial contract.  SIGINT
+            # keeps its default immediate KeyboardInterrupt (the serial
+            # contract again); SIGTERM drains — the in-flight job finishes
+            # and commits, the rest is marked aborted.
+            with _SignalGuard(sigint=False) as guard:
+                for pj in miss_jobs:
+                    if guard.draining:
+                        _record_aborted(
+                            pj, "SIGTERM drain: job never started")
+                        continue
+                    while True:
+                        item = (pj.key, pj.job, pj.trace_path,
+                                pj.index, pj.tries + 1, False)
+                        try:
+                            _key, data, seconds = _run_job(item)
+                        except WorkerError as err:
+                            pj.tries += 1
+                            pj.last_class = classify_failure(err.detail,
+                                                             err.root_cause)
+                            pj.last_detail = err.detail
+                            pj.last_root = err.root_cause
+                            if guard.draining:
+                                _record_aborted(
+                                    pj, "SIGTERM drain: retry abandoned "
+                                    "after attempt %d" % pj.tries)
+                                break
+                            if (pj.last_class in RETRYABLE
+                                    and pj.tries <= retries):
+                                if progress:
+                                    progress(done, total, pj.workload_name,
+                                             pj.config_name, 0.0, "retry")
+                                time.sleep(backoff * (2 ** (pj.tries - 1)))
+                                continue
+                            if keep_going:
+                                _record_terminal(pj)
+                                break
+                            raise
+                        else:
+                            _record_success(pj, data, seconds)
                             break
-                        raise
-                    else:
-                        _record_success(pj, data, seconds)
-                        break
+                drained = guard.draining
         elif miss_jobs:
             ctx = multiprocessing.get_context(start_method())
             queue = deque(miss_jobs)
@@ -903,19 +1034,47 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
                 fatal = WorkerError(pj.workload_name, pj.config_name,
                                     detail, root_cause)
 
-            with _SigintGuard() as guard:
+            with _SignalGuard() as guard:
+                drain_deadline = None
                 while (queue or active) and fatal is None \
                         and not guard.triggered:
-                    # Launch every eligible job up to the worker cap.
                     now = time.monotonic()
-                    for _ in range(len(queue)):
-                        if len(active) >= workers:
+                    if guard.draining:
+                        # Graceful drain: launch nothing new, let in-flight
+                        # chunks finish (their results commit incrementally
+                        # as usual), mark everything queued as aborted.
+                        if drain_deadline is None:
+                            drain_deadline = now + drain_timeout_default()
+                        while queue:
+                            pj = queue.popleft()
+                            _record_aborted(
+                                pj, "SIGTERM drain: job never started"
+                                if pj.tries == 0 else
+                                "SIGTERM drain: retry abandoned after "
+                                "attempt %d" % pj.tries)
+                        if not active:
                             break
-                        pj = queue.popleft()
-                        if pj.next_start <= now:
-                            _launch(pj)
-                        else:
-                            queue.append(pj)  # still backing off
+                        if now >= drain_deadline:
+                            for conn, (pj, process, _dl) in list(
+                                    active.items()):
+                                del active[conn]
+                                _stop_worker(process)
+                                conn.close()
+                                _record_aborted(
+                                    pj, "SIGTERM drain: in-flight chunk "
+                                    "exceeded the %.1fs drain deadline; "
+                                    "worker killed" % drain_timeout_default())
+                            break
+                    # Launch every eligible job up to the worker cap.
+                    if not guard.draining:
+                        for _ in range(len(queue)):
+                            if len(active) >= workers:
+                                break
+                            pj = queue.popleft()
+                            if pj.next_start <= now:
+                                _launch(pj)
+                            else:
+                                queue.append(pj)  # still backing off
                     if not active:
                         # Everything is backing off: sleep to eligibility
                         # (capped so SIGINT stays responsive).
@@ -964,6 +1123,7 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
                     _stop_worker(process)
                     conn.close()
                 active.clear()
+                drained = guard.draining
                 if guard.triggered:
                     raise KeyboardInterrupt
             if fatal is not None:
@@ -1013,8 +1173,10 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
             if by_key.get(pj.key) is not None
         ),
         jobs_failed=sum(1 for r in failures if not r["recovered"]
-                        and r["classification"] != CLASS_CORRUPT_CACHE),
+                        and r["classification"] not in (CLASS_CORRUPT_CACHE,
+                                                        CLASS_ABORTED)),
         failures=failures,
+        drained=drained,
     )
     # Job order, not completion order: deterministic output.
     return [by_key.get(key) for key in keys], report
@@ -1023,7 +1185,8 @@ def run_jobs(jobs, cache=None, max_workers=None, progress=None,
 def run_suite_parallel(config, workloads, length, warmup,
                        cache=None, max_workers=None, progress=None,
                        job_timeout=None, retries=None, keep_going=False,
-                       sampling=None, batch_warm=None, batch_detail=None):
+                       sampling=None, batch_warm=None, batch_detail=None,
+                       shards=None):
     """Fan one config across ``workloads``; returns ``({name: SimResult},
     TimingReport)``.  Under ``keep_going``, failed workloads are simply
     absent from the mapping (the report's manifest names them).
@@ -1037,7 +1200,7 @@ def run_suite_parallel(config, workloads, length, warmup,
                                progress=progress, job_timeout=job_timeout,
                                retries=retries, keep_going=keep_going,
                                batch_warm=batch_warm,
-                               batch_detail=batch_detail)
+                               batch_detail=batch_detail, shards=shards)
     return {name: result for name, result in zip(workloads, results)
             if result is not None}, report
 
@@ -1045,7 +1208,8 @@ def run_suite_parallel(config, workloads, length, warmup,
 def run_matrix(configs, workloads, length, warmup,
                cache=None, max_workers=None, progress=None,
                job_timeout=None, retries=None, keep_going=False,
-               sampling=None, batch_warm=None, batch_detail=None):
+               sampling=None, batch_warm=None, batch_detail=None,
+               shards=None):
     """Fan the full (config x workload) cross-product through one engine.
 
     Submitting every cell at once keeps all workers busy across config
@@ -1069,7 +1233,7 @@ def run_matrix(configs, workloads, length, warmup,
                                progress=progress, job_timeout=job_timeout,
                                retries=retries, keep_going=keep_going,
                                batch_warm=batch_warm,
-                               batch_detail=batch_detail)
+                               batch_detail=batch_detail, shards=shards)
     per_config = []
     for i in range(len(configs)):
         chunk = results[i * len(workloads):(i + 1) * len(workloads)]

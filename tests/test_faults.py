@@ -107,6 +107,56 @@ class TestFaultSpecs:
         faults.fire_worker_faults(4, 1, in_child=False, environ=env)  # miss
 
 
+class TestShardFaultSpecs:
+    """The service-layer fault grammar: kill_shard, hang_heartbeat,
+    torn_write and kill_commit (see README resilience docs)."""
+
+    def test_parse_shard_kinds(self):
+        specs = faults.parse_faults(
+            "kill_shard:shard=1:after=2, hang_heartbeat:shard=0:seconds=9, "
+            "torn_write:key=mcf, kill_commit:key=gcc:at=payload")
+        assert [s.kind for s in specs] == [
+            "kill_shard", "hang_heartbeat", "torn_write", "kill_commit"]
+
+    def test_kill_shard_targets_shard_and_incarnation(self):
+        env = {"REPRO_FAULT": "kill_shard:shard=1:after=2"}
+        assert faults.shard_kill_after(1, 1, environ=env) == 2
+        assert faults.shard_kill_after(0, 1, environ=env) is None  # other shard
+        # attempts=K bounds the incarnation (default 1): the respawned
+        # shard is healthy, which is what lets the sweep converge.
+        assert faults.shard_kill_after(1, 2, environ=env) is None
+        env = {"REPRO_FAULT": "kill_shard:shard=1:attempts=3"}
+        assert faults.shard_kill_after(1, 3, environ=env) == 1  # after default
+        assert faults.shard_kill_after(1, 4, environ=env) is None
+
+    def test_hang_heartbeat_spec(self):
+        env = {"REPRO_FAULT": "hang_heartbeat:shard=2:seconds=7:after=3"}
+        assert faults.shard_heartbeat_hang(2, 1, environ=env) == (3, 7.0)
+        assert faults.shard_heartbeat_hang(1, 1, environ=env) is None
+        assert faults.shard_heartbeat_hang(2, 2, environ=env) is None
+        assert faults.shard_kill_after(2, 1, environ=env) is None
+
+    def test_torn_write_fires_attempts_times_per_process(self):
+        env = {"REPRO_FAULT": "torn_write:key=mcf:attempts=2"}
+        faults._torn_fired.clear()
+        try:
+            assert faults.torn_write_requested("spec06_mcf-1-2-x", environ=env)
+            assert faults.torn_write_requested("spec06_mcf-1-2-x", environ=env)
+            assert not faults.torn_write_requested("spec06_mcf-1-2-x",
+                                                   environ=env)  # budget spent
+            assert not faults.torn_write_requested("spec06_gcc-1-2-x",
+                                                   environ=env)  # no match
+        finally:
+            faults._torn_fired.clear()
+
+    def test_kill_commit_is_noop_on_stage_or_key_miss(self):
+        env = {"REPRO_FAULT": "kill_commit:key=mcf:at=intent"}
+        # Wrong stage / wrong key: must return, not SIGKILL the test run.
+        faults.fire_commit_faults("spec06_mcf-1-2-x", "replace", environ=env)
+        faults.fire_commit_faults("spec06_gcc-1-2-x", "intent", environ=env)
+        faults.fire_commit_faults("anything", "intent", environ={})
+
+
 class TestKnobs:
     def test_timeout_precedence(self, monkeypatch):
         assert resolve_job_timeout(12.5, LENGTH) == 12.5
@@ -342,3 +392,59 @@ class TestSigintResume:
         assert report.cache_hits == 3
         assert report.jobs_simulated == 1
         assert all(r is not None for r in results)
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_gracefully_with_exit_code_4(self, tmp_path):
+        """Satellite: SIGTERM mid-suite finishes in-flight chunks,
+        journals their results, writes the manifest (aborted records),
+        and exits with the documented drain code 4."""
+        cache_dir = str(tmp_path / "cache")
+        out_path = str(tmp_path / "out.json")
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = cache_dir
+        # Job 3 hangs forever with the watchdog off: the run can only end
+        # via our SIGTERM, and the hung chunk must be aborted at the
+        # (tight) drain deadline rather than waited on.
+        env["REPRO_FAULT"] = "hang:job=3:seconds=600"
+        env["REPRO_DRAIN_TIMEOUT"] = "2"
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", "suite", "-n", "2", "-j", "4",
+             "--length", str(LENGTH), "--warmup", str(WARMUP), "--rfp",
+             "--keep-going", "--job-timeout", "0", "--out", out_path],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                done = ([name for name in os.listdir(cache_dir)
+                         if name.endswith(".json")]
+                        if os.path.isdir(cache_dir) else [])
+                if len(done) >= 3:
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert child.poll() is None, (
+                "run finished before SIGTERM could be delivered:\n%s"
+                % child.communicate()[1].decode())
+            child.send_signal(signal.SIGTERM)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+        assert child.returncode == 4  # documented drain exit code
+        # The three healthy chunks were finished and journaled.
+        cached = [name for name in os.listdir(cache_dir)
+                  if name.endswith(".json")]
+        assert len(cached) == 3
+        with open(out_path) as handle:
+            payload = json.load(handle)
+        assert payload["manifest_version"] >= 2
+        aborted = [f for f in payload["failures"]
+                   if f["classification"] == "aborted"]
+        assert aborted and "SIGTERM drain" in aborted[0]["detail"]
+        # Aborted chunks are not "failed" jobs: the drain exit code (4)
+        # carries the signal, so the payload stays resumable as-is.
+        assert all(f["classification"] in ("aborted",)
+                   for f in payload["failures"])
